@@ -1,0 +1,67 @@
+// Command tables regenerates the paper's tables on the simulated
+// Ultracomputer:
+//
+//	tables -table 1    network traffic and performance of four programs
+//	tables -table 2    TRED2 efficiencies (measured + projected)
+//	tables -table 3    projected efficiencies with waiting recovered
+//	tables -table 0    all of them
+//
+// Each reproduced value is printed beside the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ultracomputer/internal/analytic"
+	"ultracomputer/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "which table to regenerate (1, 2, 3; 0 = all)")
+	quick := flag.Bool("quick", false, "smaller problem sizes for a fast run")
+	flag.Parse()
+
+	if *table == 0 || *table == 1 {
+		runTable1(*quick)
+	}
+	if *table == 0 || *table == 2 || *table == 3 {
+		runTables23(*quick, *table)
+	}
+}
+
+func runTable1(quick bool) {
+	sizes := experiments.DefaultTable1Sizes
+	if quick {
+		sizes = experiments.QuickTable1Sizes
+	}
+	fmt.Println("Table 1. Network Traffic and Performance")
+	fmt.Println("(time unit: PE instruction time; paper values in the row below each program)")
+	fmt.Println()
+	rows := experiments.Table1(sizes, 0)
+	fmt.Print(experiments.FormatTable1(rows))
+	fmt.Println()
+}
+
+func runTables23(quick bool, which int) {
+	grid := experiments.DefaultTredGrid
+	if quick {
+		grid = experiments.TredGrid{Ps: []int{1, 4, 8}, Ns: []int{8, 16}}
+	}
+	fmt.Printf("Fitting T(P,N) = a·N + d·N³/P + W(P,N) from %d×%d simulated runs...\n",
+		len(grid.Ps), len(grid.Ns))
+	samples := experiments.MeasureTred2(grid)
+	model, t2, t3 := experiments.Tables23(samples)
+	fmt.Printf("fitted: a=%.2f d=%.3f  W ≈ %.2f·N + %.2f·√P   (a/d = %.1f)\n\n",
+		model.A, model.D, model.W1, model.W2, model.A/model.D)
+	if which == 0 || which == 2 {
+		fmt.Print(experiments.FormatEfficiencyGrid(
+			"Table 2. Measured and Projected Efficiencies", t2, analytic.PaperTable2))
+		fmt.Println()
+	}
+	if which == 0 || which == 3 {
+		fmt.Print(experiments.FormatEfficiencyGrid(
+			"Table 3. Projected Efficiencies (waiting time recovered)", t3, analytic.PaperTable3))
+		fmt.Println()
+	}
+}

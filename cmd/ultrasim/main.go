@@ -1,0 +1,123 @@
+// Command ultrasim runs an assembly program on the simulated
+// Ultracomputer, one copy per PE (SPMD; use rdpe to diverge), and prints
+// the machine report and requested memory/register dumps.
+//
+// Usage:
+//
+//	ultrasim -pes 8 -k 2 -stages 4 prog.s
+//	ultrasim -pes 4 -dump 0:16 -reg 1,2,3 prog.s
+//
+// The instruction set is documented in internal/isa; see examples/ for
+// sample programs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ultracomputer/internal/isa"
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/pe"
+)
+
+func main() {
+	pes := flag.Int("pes", 4, "processing elements")
+	k := flag.Int("k", 2, "switch radix")
+	stages := flag.Int("stages", 4, "network stages (ports = k^stages)")
+	combining := flag.Bool("combining", true, "enable request combining")
+	hashing := flag.Bool("hashing", true, "hash addresses over memory modules")
+	local := flag.Int("local", 4096, "private memory words per PE")
+	limit := flag.Int64("limit", 100_000_000, "network-cycle limit")
+	dump := flag.String("dump", "", "shared memory range to print, lo:hi")
+	regs := flag.String("reg", "", "comma-separated integer registers to print per PE")
+	topo := flag.Bool("topo", false, "print the network wiring (the paper's Figure 2) and exit")
+	disasm := flag.Bool("disasm", false, "print the assembled program's disassembly and exit")
+	flag.Parse()
+
+	if *topo {
+		fmt.Print(network.DescribeTopology(*k, *stages))
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ultrasim [flags] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	cfg := machine.Config{
+		Net:     network.Config{K: *k, Stages: *stages, Combining: *combining},
+		Hashing: *hashing,
+		PEs:     *pes,
+	}
+	cores := make([]pe.Core, *pes)
+	isaCores := make([]*isa.Core, *pes)
+	for i := range cores {
+		isaCores[i] = isa.NewCore(prog, *local)
+		cores[i] = isaCores[i]
+	}
+	m := machine.New(cfg, cores)
+	cycles, done := m.Run(*limit)
+	if !done {
+		fmt.Fprintf(os.Stderr, "warning: cycle limit reached before all PEs halted\n")
+	}
+	fmt.Printf("ran %d PE cycles (%d network cycles)\n\n", cycles, m.Cycles())
+	fmt.Print(m.Report().String())
+
+	if *dump != "" {
+		lo, hi, err := parseRange(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nshared memory [%d, %d):\n", lo, hi)
+		for a := lo; a < hi; a++ {
+			fmt.Printf("  M[%d] = %d\n", a, m.ReadShared(a))
+		}
+	}
+	if *regs != "" {
+		fmt.Println()
+		for _, s := range strings.Split(*regs, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || r < 0 || r >= isa.NumRegs {
+				fatal(fmt.Errorf("bad register %q", s))
+			}
+			for i, c := range isaCores {
+				fmt.Printf("  pe%d r%d = %d\n", i, r, c.Reg(r))
+			}
+		}
+	}
+}
+
+func parseRange(s string) (lo, hi int64, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad range %q, want lo:hi", s)
+	}
+	if lo, err = strconv.ParseInt(parts[0], 0, 64); err != nil {
+		return 0, 0, err
+	}
+	if hi, err = strconv.ParseInt(parts[1], 0, 64); err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ultrasim:", err)
+	os.Exit(1)
+}

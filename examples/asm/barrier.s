@@ -1,0 +1,38 @@
+; barrier.s — a reusable fetch-and-add barrier written directly in
+; Ultracomputer assembly (no critical sections): arrivals fetch-and-add a
+; counter; the last arrival resets it and bumps the generation cell the
+; others spin on. Each PE passes the barrier 3 times, incrementing a
+; per-round cell first, so after the run M[600..602] all equal the PE
+; count if and only if no PE ever ran ahead.
+;
+;   go run ./cmd/ultrasim -pes 8 -dump 600:603 examples/asm/barrier.s
+;
+; Cells: M[700] = arrival count, M[701] = generation, M[600+r] = round r.
+
+        rdnp r20            ; r20 = P
+        li   r21, 700       ; count cell
+        li   r22, 701       ; generation cell
+        li   r23, 0         ; round
+        li   r24, 3         ; rounds
+        li   r2, 1
+
+loop:   beq  r23, r24, done
+        addi r1, r23, 600
+        faa  r3, 0(r1), r2  ; round work: M[600+round] += 1
+
+        ; ---- barrier ----
+        lds  r4, 0(r22)     ; my generation
+        faa  r5, 0(r21), r2 ; arrive
+        addi r6, r20, -1
+        bne  r5, r6, spin   ; not last: wait
+        sts  r0, 0(r21)     ; last: reset count...
+        lds  r9, 0(r21)     ; ...and read it back: the PNI's one-
+                            ; outstanding-per-location rule makes this
+                            ; load wait for the store, fencing the reset
+        faa  r7, 0(r22), r2 ; release the others
+        jmp  next
+spin:   lds  r8, 0(r22)
+        beq  r8, r4, spin   ; generation unchanged: keep waiting
+next:   addi r23, r23, 1
+        jmp  loop
+done:   halt

@@ -1,0 +1,47 @@
+; dotproduct.s — self-scheduled parallel dot product of two shared
+; vectors using fetch-and-add both for loop scheduling and for the final
+; (integer) accumulation. Works for any PE count.
+;
+;   go run ./cmd/ultrasim -pes 4 -dump 300:301 examples/asm/dotproduct.s
+;
+; Shared memory layout:
+;   M[0..15]    vector x  (initialized by the loader loop below on PE 0)
+;   M[100..115] vector y
+;   M[200]      shared loop index
+;   M[300]      result accumulator
+;
+; PE 0 first initializes x[i] = i+1 and y[i] = 2 so the expected result
+; is 2 * (1+2+...+16) = 272; the other PEs spin on the ready flag M[301].
+
+        rdpe r1
+        bne  r1, r0, wait   ; only PE 0 initializes
+        li   r2, 0          ; i = 0
+        li   r3, 16
+init:   beq  r2, r3, go
+        addi r4, r2, 1      ; x[i] = i+1
+        sts  r4, 0(r2)
+        li   r5, 2          ; y[i] = 2
+        addi r6, r2, 100
+        sts  r5, 0(r6)
+        addi r2, r2, 1
+        jmp  init
+go:     li   r7, 1
+        li   r8, 301
+        sts  r7, 0(r8)      ; ready flag
+wait:   li   r8, 301
+        lds  r9, 0(r8)
+        beq  r9, r0, wait   ; spin until PE 0 finished loading
+
+        li   r10, 200       ; shared index address
+        li   r11, 1
+        li   r12, 16        ; limit
+loop:   faa  r13, 0(r10), r11   ; claim the next element
+        bge  r13, r12, done
+        lds  r14, 0(r13)        ; x[i]
+        addi r15, r13, 100
+        lds  r16, 0(r15)        ; y[i]
+        mul  r17, r14, r16
+        li   r18, 300
+        faa  r19, 0(r18), r17   ; accumulate into the shared result
+        jmp  loop
+done:   halt

@@ -1,0 +1,74 @@
+; queue.s — the paper's appendix, in assembly: the completely parallel
+; bounded FIFO queue with the test-increment-retest (TIR) and
+; test-decrement-retest (TDR) guards. Every PE inserts one value
+; (100 + its PE number) and deletes one value, tallying what it got into
+; M[900] with a final fetch-and-add. With P PEs the tally must be
+; sum(100+pe) = 100*P + P*(P-1)/2 — for 8 PEs: 828.
+;
+;   go run ./cmd/ultrasim -pes 8 -dump 900:901 examples/asm/queue.s
+;
+; Layout: M[800]=I  M[801]=D  M[802]=#Qu  M[803]=#Qi
+;         M[804..811] turn cells   M[812..819] data cells   (Size = 8)
+
+        rdpe r1
+        addi r2, r1, 100     ; my value
+        li   r10, 800        ; &I
+        li   r11, 801        ; &D
+        li   r12, 802        ; &#Qu
+        li   r13, 803        ; &#Qi
+        li   r14, 8          ; Size
+        li   r15, 804        ; turn base
+        li   r16, 812        ; data base
+        li   r3, 1
+
+; ---------- Insert(value): spin until TIR(#Qu, 1, Size) succeeds ----------
+ins:    lds  r4, 0(r12)      ; test: #Qu + 1 <= Size?
+        addi r4, r4, 1
+        blt  r14, r4, ins    ; over bound: retry (QueueOverflow -> spin)
+        faa  r5, 0(r12), r3  ; increment
+        addi r5, r5, 1
+        sle  r6, r5, r14     ; retest
+        bne  r6, r0, insok
+        li   r7, -1
+        faa  r8, 0(r12), r7  ; undo and retry
+        jmp  ins
+insok:  faa  r9, 0(r10), r3  ; MyI = FetchAdd(I, 1)
+        mod  r17, r9, r14    ; slot
+        div  r18, r9, r14    ; round
+        add  r19, r18, r18   ; writable when turn == 2*round
+        add  r20, r15, r17
+insw:   lds  r21, 0(r20)     ; wait turn at MyI
+        bne  r21, r19, insw
+        add  r22, r16, r17
+        sts  r2, 0(r22)      ; data[slot] = value
+        lds  r23, 0(r22)     ; read back: same-location ordering makes
+        or   r23, r23, r23   ; ...and consuming it makes this a fence
+        addi r24, r19, 1
+        sts  r24, 0(r20)     ; turn = 2*round + 1: announce the datum
+        faa  r25, 0(r13), r3 ; #Qi++
+
+; ---------- Delete(): spin until TDR(#Qi, 1) succeeds ----------
+del:    lds  r4, 0(r13)      ; test: #Qi - 1 >= 0?
+        blt  r4, r3, del     ; empty: retry (QueueUnderflow -> spin)
+        li   r7, -1
+        faa  r5, 0(r13), r7  ; decrement
+        bge  r5, r3, delok   ; retest (old value >= 1)
+        faa  r8, 0(r13), r3  ; undo and retry
+        jmp  del
+delok:  faa  r9, 0(r11), r3  ; MyD = FetchAdd(D, 1)
+        mod  r17, r9, r14
+        div  r18, r9, r14
+        add  r19, r18, r18
+        addi r19, r19, 1     ; readable when turn == 2*round + 1
+        add  r20, r15, r17
+delw:   lds  r21, 0(r20)     ; wait turn at MyD
+        bne  r21, r19, delw
+        add  r22, r16, r17
+        lds  r26, 0(r22)     ; take the datum
+        or   r26, r26, r26   ; consume before releasing the slot
+        addi r27, r19, 1     ; turn = 2*(round+1)
+        sts  r27, 0(r20)
+        faa  r28, 0(r12), r7 ; #Qu--
+        li   r29, 900
+        faa  r30, 0(r29), r26 ; tally += datum
+        halt

@@ -1,0 +1,15 @@
+; tickets.s — every PE draws a ticket from a shared counter with a single
+; fetch-and-add (the paper's shared-array-index idiom, §2.2) and records
+; its PE number in the slot the ticket selects.
+;
+;   go run ./cmd/ultrasim -pes 8 -dump 500:509 examples/asm/tickets.s
+;
+; Shared memory: M[500] = ticket counter, M[501+t] = PE that drew ticket t.
+
+        li   r1, 500        ; counter address
+        li   r2, 1
+        faa  r3, 0(r1), r2  ; r3 = my ticket (combines in the network)
+        rdpe r4             ; r4 = my PE number
+        addi r5, r3, 501
+        sts  r4, 0(r5)      ; M[501 + ticket] = PE
+        halt

@@ -1,0 +1,104 @@
+// Parallelqueue demonstrates the appendix's completely parallel bounded
+// queue twice over:
+//
+//  1. on the ideal paracomputer (goroutines against para.Memory),
+//     refuting Deo, Pang & Lord's "constant upper bound on speedup"
+//     claim with thousands of concurrent inserts and deletes, and
+//
+//  2. on the simulated Ultracomputer, where the same code (via the
+//     coord.Mem interface) runs against the combining network.
+//
+//     go run ./examples/parallelqueue
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ultracomputer/internal/coord"
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/para"
+	"ultracomputer/internal/pe"
+)
+
+func main() {
+	idealParacomputer()
+	simulatedMachine()
+}
+
+func idealParacomputer() {
+	fmt.Println("== ideal paracomputer (goroutines) ==")
+	mem := para.NewMemory()
+	q := coord.NewQueue(mem, 0, 64)
+	const producers, consumers, perPE = 32, 32, 2000
+
+	start := time.Now()
+	got := make([]map[int64]bool, consumers)
+	mem.Run(producers+consumers, func(p int) {
+		if p < producers {
+			for i := 0; i < perPE; i++ {
+				q.Insert(int64(p*perPE + i + 1))
+			}
+			return
+		}
+		me := p - producers
+		got[me] = make(map[int64]bool, perPE)
+		for i := 0; i < perPE; i++ {
+			got[me][q.Delete()] = true
+		}
+	})
+	elapsed := time.Since(start)
+
+	seen := make(map[int64]bool)
+	for _, g := range got {
+		for v := range g {
+			if seen[v] {
+				panic("value delivered twice")
+			}
+			seen[v] = true
+		}
+	}
+	fmt.Printf("moved %d items through one shared queue with %d goroutines in %v\n",
+		len(seen), producers+consumers, elapsed)
+	fmt.Printf("every item delivered exactly once: %v\n\n", len(seen) == producers*perPE)
+}
+
+func simulatedMachine() {
+	fmt.Println("== simulated Ultracomputer (16 PEs) ==")
+	cfg := machine.Config{
+		Net:     network.Config{K: 2, Stages: 4, Combining: true},
+		Hashing: true,
+	}
+	const qBase, qCap, doneCell = 0, 16, 2000
+	const items = 40
+
+	// PEs 0..7 produce, PEs 8..15 consume; consumers tally what they
+	// got into doneCell with fetch-and-add.
+	m := machine.SPMD(cfg, 16, func(ctx *pe.Ctx) {
+		q := coord.AttachQueue(ctx, qBase, qCap)
+		if ctx.PE() < 8 {
+			for i := 0; i < items/8; i++ {
+				q.Insert(int64(ctx.PE()*100 + i + 1))
+			}
+			return
+		}
+		for i := 0; i < items/8; i++ {
+			v := q.Delete()
+			ctx.FetchAdd(doneCell, v)
+		}
+	})
+	peCycles := m.MustRun(50_000_000)
+	fmt.Printf("finished in %d PE cycles; queue length now %d\n",
+		peCycles, m.ReadShared(int64(3))) // #Qi cell
+	var want int64
+	for p := 0; p < 8; p++ {
+		for i := 0; i < items/8; i++ {
+			want += int64(p*100 + i + 1)
+		}
+	}
+	fmt.Printf("checksum of delivered values: %d (want %d)\n",
+		m.ReadShared(doneCell), want)
+	r := m.Report()
+	fmt.Printf("network combines during the run: %d\n", r.Combines)
+}

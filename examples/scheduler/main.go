@@ -1,0 +1,89 @@
+// Scheduler demonstrates the totally decentralized operating-system
+// scheduler of §2.3: a shared ready-queue managed with the completely
+// parallel fetch-and-add queue, from which every PE self-schedules tasks
+// — and into which running tasks spawn new subtasks — with no master
+// processor and no critical sections anywhere.
+//
+// The workload is a task tree: each root task spawns two children down
+// to a fixed depth, so the task count is known in advance and the
+// scheduler's join (the outstanding-work counter) can be checked.
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+
+	"ultracomputer/internal/coord"
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/pe"
+)
+
+const (
+	schedBase = int64(0)   // scheduler control + ready queue
+	queueCap  = 64         //
+	tallyBase = int64(500) // per-PE count of tasks executed
+	depthBits = 8
+)
+
+// Task encoding: id<<depthBits | depth. Tasks with depth < maxDepth
+// spawn two children.
+const maxDepth = 3
+
+func main() {
+	const pes = 16
+	const roots = 8
+	cfg := machine.Config{
+		Net:     network.Config{K: 2, Stages: 4, Combining: true},
+		Hashing: true,
+	}
+
+	m := machine.SPMD(cfg, pes, func(ctx *pe.Ctx) {
+		s := coord.AttachScheduler(ctx, schedBase, queueCap)
+		if ctx.PE() == 0 {
+			for r := 0; r < roots; r++ {
+				s.Submit(int64(r+1) << depthBits) // depth 0
+			}
+		}
+		for {
+			task, ok := s.Next()
+			if !ok {
+				return
+			}
+			depth := task & (1<<depthBits - 1)
+			id := task >> depthBits
+			// Spawn children before finishing, so the outstanding
+			// count can never hit zero early.
+			if depth < maxDepth {
+				s.Submit((2*id)<<depthBits | (depth + 1))
+				s.Submit((2*id+1)<<depthBits | (depth + 1))
+			}
+			ctx.Compute(20) // the task's "work"
+			ctx.FetchAdd(tallyBase+int64(ctx.PE()), 1)
+			s.Finish()
+		}
+	})
+
+	peCycles := m.MustRun(100_000_000)
+
+	total := int64(0)
+	fmt.Printf("tasks executed per PE (no PE is special):\n")
+	for p := int64(0); p < pes; p++ {
+		n := m.ReadShared(tallyBase + p)
+		total += n
+		fmt.Printf("  pe%-2d %3d  %s\n", p, n, bar(n))
+	}
+	// Each root expands into 2^(maxDepth+1)-1 tasks.
+	want := int64(roots) * (1<<(maxDepth+1) - 1)
+	fmt.Printf("\ntotal %d tasks (want %d) in %d PE cycles\n", total, want, peCycles)
+	fmt.Printf("outstanding after join: %d\n", m.ReadShared(schedBase))
+}
+
+func bar(n int64) string {
+	s := ""
+	for i := int64(0); i < n; i++ {
+		s += "#"
+	}
+	return s
+}

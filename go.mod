@@ -1,0 +1,3 @@
+module ultracomputer
+
+go 1.22

@@ -1,0 +1,209 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStagesAndCapacity(t *testing.T) {
+	c := NetConfig{N: 4096, K: 4, M: 4, D: 2}
+	if c.Stages() != 6 {
+		t.Fatalf("stages = %d, want 6", c.Stages())
+	}
+	if got := c.Capacity(); got != 0.5 {
+		t.Fatalf("capacity = %v, want 0.5", got)
+	}
+	if got := (NetConfig{N: 4096, K: 8, M: 8, D: 6}).Bandwidth(); got != 0.75 {
+		t.Fatalf("bandwidth = %v, want 0.75", got)
+	}
+	if got := (NetConfig{N: 4096, K: 2, M: 2, D: 1}).Stages(); got != 12 {
+		t.Fatalf("2x2 stages = %d, want 12", got)
+	}
+}
+
+func TestCostFactor(t *testing.T) {
+	// C = d/(k·lg k): 4x4 duplexed = 2/(4·2) = 0.25; 8x8 d=6 = 6/24 = 0.25.
+	// The paper calls these "approximately the same cost".
+	c1 := NetConfig{N: 4096, K: 4, M: 4, D: 2}.Cost()
+	c2 := NetConfig{N: 4096, K: 8, M: 8, D: 6}.Cost()
+	if math.Abs(c1-0.25) > 1e-12 || math.Abs(c2-0.25) > 1e-12 {
+		t.Fatalf("costs = %v, %v; want 0.25, 0.25", c1, c2)
+	}
+}
+
+func TestSwitchDelayLimits(t *testing.T) {
+	// Zero traffic: pure service time.
+	if got := SwitchDelay(2, 2, 0); got != 1 {
+		t.Fatalf("idle switch delay = %v, want 1", got)
+	}
+	// Approaching saturation (m·p -> 1) the delay diverges.
+	if got := SwitchDelay(2, 2, 0.4999); got < 100 {
+		t.Fatalf("near-saturation delay = %v, want large", got)
+	}
+	if got := SwitchDelay(2, 2, 0.5); !math.IsInf(got, 1) {
+		t.Fatalf("at-capacity delay = %v, want +Inf", got)
+	}
+}
+
+func TestSwitchDelayMonotone(t *testing.T) {
+	f := func(pRaw uint16) bool {
+		p := float64(pRaw) / float64(1<<16) * 0.45 // within capacity for m=2
+		return SwitchDelay(2, 2, p+0.01) > SwitchDelay(2, 2, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransitTimeMatchesPaperForm checks the general formula reduces to
+// the paper's m=k special case T = (1 + k(k−1)p/2(d−kp))·lgn/lgk + k − 1.
+func TestTransitTimeMatchesPaperForm(t *testing.T) {
+	for _, c := range Figure7Configs(4096) {
+		k, d := float64(c.K), float64(c.D)
+		for _, p := range []float64{0.01, 0.05, 0.1, 0.2} {
+			if p >= 0.95*c.Capacity() {
+				continue
+			}
+			want := (1+k*(k-1)*p/(2*(d-k*p)))*float64(c.Stages()) + k - 1
+			got := TransitTime(c, p)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("%v at p=%v: got %v, want %v", c, p, got, want)
+			}
+		}
+	}
+}
+
+// TestFigure7Shape reproduces the figure's qualitative conclusions: at
+// moderate load (p ≈ 0.1–0.2) the duplexed 4×4 network beats both the
+// 2×2 single network and the 4×4 single network; all curves rise with p.
+func TestFigure7Shape(t *testing.T) {
+	n := 4096
+	at := func(k, m, d int, p float64) float64 {
+		return TransitTime(NetConfig{N: n, K: k, M: m, D: d}, p)
+	}
+	for _, p := range []float64{0.1, 0.15, 0.2} {
+		best := at(4, 4, 2, p)
+		if best >= at(4, 4, 1, p) {
+			t.Fatalf("p=%v: duplexing did not help 4x4", p)
+		}
+		if best >= at(2, 2, 1, p) {
+			t.Fatalf("p=%v: 4x4 d=2 (%v) not better than 2x2 d=1 (%v)",
+				p, best, at(2, 2, 1, p))
+		}
+	}
+	// Curves are increasing in p.
+	for _, c := range Figure7Configs(n) {
+		s := Figure7Series(c, 0.35, 35)
+		if len(s.Points) < 5 {
+			t.Fatalf("%v: series too short (%d points)", c, len(s.Points))
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y < s.Points[i-1].Y {
+				t.Fatalf("%v: transit time decreased with load", c)
+			}
+		}
+	}
+}
+
+// TestTwoChipBeatsSecondCopy reproduces §4.1's closing argument: for the
+// same doubled chip budget, a two-chip 4×4 switch (m = 2, d = 1) gives
+// lower transit time than two copies of the one-chip network
+// (m = 4, d = 2), at every load both can carry.
+func TestTwoChipBeatsSecondCopy(t *testing.T) {
+	oneChipDuplexed := NetConfig{N: 4096, K: 4, M: 4, D: 2}
+	twoChip := NetConfig{N: 4096, K: 4, M: 4, D: 1}.TwoChip()
+	if twoChip.M != 2 {
+		t.Fatalf("two-chip m = %d, want 2", twoChip.M)
+	}
+	for _, p := range []float64{0.05, 0.1, 0.2, 0.3, 0.4} {
+		if p >= 0.95*twoChip.Capacity() || p >= 0.95*oneChipDuplexed.Capacity() {
+			continue
+		}
+		a := TransitTime(twoChip, p)
+		b := TransitTime(oneChipDuplexed, p)
+		if a >= b {
+			t.Fatalf("p=%v: two-chip T=%v not below duplexed one-chip T=%v", p, a, b)
+		}
+	}
+}
+
+func TestCircuitSwitchedBandwidth(t *testing.T) {
+	// O(1/log n): doubling stages halves per-PE bandwidth.
+	b12 := CircuitSwitchedBandwidth(4096, 2) // 12 stages
+	b6 := CircuitSwitchedBandwidth(64, 2)    // 6 stages
+	if math.Abs(b6/b12-2) > 1e-9 {
+		t.Fatalf("bandwidth ratio = %v, want 2", b6/b12)
+	}
+}
+
+func TestTREDModelBasics(t *testing.T) {
+	m := TREDModel{A: 7.2, D: 1, W1: 3.3, W2: 1}
+	if m.Wait(1, 100) != 0 {
+		t.Fatal("serial run must not wait")
+	}
+	// Efficiency at P=1 is exactly 1.
+	if e := m.Efficiency(1, 64); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("E(1, 64) = %v, want 1", e)
+	}
+	// Efficiency decreases with P at fixed N, increases with N at fixed P.
+	if m.Efficiency(64, 64) >= m.Efficiency(16, 64) {
+		t.Fatal("efficiency must fall with more PEs")
+	}
+	if m.Efficiency(64, 64) <= m.Efficiency(64, 16) {
+		t.Fatal("efficiency must rise with bigger problems")
+	}
+}
+
+// TestFitRecoversKnownModel generates synthetic measurements from known
+// constants and checks FitTRED recovers them.
+func TestFitRecoversKnownModel(t *testing.T) {
+	truth := TREDModel{A: 7.2, D: 1.0, W1: 3.3, W2: 1.5}
+	var samples []TREDSample
+	for _, p := range []int{1, 4, 16, 64} {
+		for _, n := range []int{16, 32, 64, 128} {
+			w := truth.Wait(float64(p), float64(n))
+			samples = append(samples, TREDSample{
+				P: p, N: n,
+				Total:   truth.TimeNoWait(float64(p), float64(n)) + w,
+				Waiting: w,
+			})
+		}
+	}
+	got := FitTRED(samples)
+	for name, pair := range map[string][2]float64{
+		"A": {got.A, truth.A}, "D": {got.D, truth.D},
+		"W1": {got.W1, truth.W1}, "W2": {got.W2, truth.W2},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-6*(1+math.Abs(pair[1])) {
+			t.Errorf("%s = %v, want %v", name, pair[0], pair[1])
+		}
+	}
+}
+
+// TestCalibratedModelMatchesPaperTables checks the calibrated constants
+// reproduce the paper's grids within a few points of efficiency.
+func TestCalibratedModelMatchesPaperTables(t *testing.T) {
+	check := func(name string, paper [][]int, got [][]float64, tol float64) {
+		var worst float64
+		for i := range paper {
+			for j := range paper[i] {
+				diff := math.Abs(float64(paper[i][j]) - got[i][j])
+				if diff > worst {
+					worst = diff
+				}
+			}
+		}
+		if worst > tol {
+			t.Errorf("%s: worst deviation %.1f points > %.1f", name, worst, tol)
+		}
+	}
+	check("Table 3", PaperTable3, EfficiencyGrid(PaperCalibratedModel, false), 2.5)
+	check("Table 2", PaperTable2, EfficiencyGrid(PaperCalibratedModel, true), 6.0)
+}
+
+func TestFit2Degenerate(t *testing.T) {
+	if a, d := fit2(nil, func(TREDSample) (float64, float64, float64) { return 0, 0, 0 }); a != 0 || d != 0 {
+		t.Fatal("degenerate fit must return zeros")
+	}
+}

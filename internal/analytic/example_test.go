@@ -1,0 +1,34 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"ultracomputer/internal/analytic"
+)
+
+// Evaluate the §4.1 transit-time model for the configuration the paper
+// recommends: a duplexed network of 4×4 switches on a 4096-PE machine.
+func ExampleTransitTime() {
+	cfg := analytic.NetConfig{N: 4096, K: 4, M: 4, D: 2}
+	fmt.Printf("stages: %d\n", cfg.Stages())
+	fmt.Printf("cost factor: %.2f\n", cfg.Cost())
+	for _, p := range []float64{0, 0.1, 0.2} {
+		fmt.Printf("T(p=%.1f) = %.2f cycles\n", p, analytic.TransitTime(cfg, p))
+	}
+	// Output:
+	// stages: 6
+	// cost factor: 0.25
+	// T(p=0.0) = 9.00 cycles
+	// T(p=0.1) = 11.25 cycles
+	// T(p=0.2) = 15.00 cycles
+}
+
+// The §3.6 packaging estimate for the full 4096-processor machine.
+func ExamplePackaging_chips() {
+	c := analytic.PaperPackaging.Chips(4096)
+	fmt.Printf("total chips: %d\n", c.Total)
+	fmt.Printf("network share: %.0f%%\n", c.NetworkFraction*100)
+	// Output:
+	// total chips: 65536
+	// network share: 19%
+}

@@ -1,0 +1,132 @@
+// Package analytic implements the paper's closed-form performance
+// models: the §4.1 queueing analysis of the message-switched Omega
+// network (Figure 7) and the §5.0 execution-time model of parallel TRED2
+// that generates the efficiency projections of Tables 2 and 3.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"ultracomputer/internal/sim"
+)
+
+// NetConfig is a network configuration in the paper's §4.1 terms.
+type NetConfig struct {
+	N int // network ports (PEs = MMs)
+	K int // switch size k
+	M int // time multiplexing factor m (cycles to input a message)
+	D int // number of network copies d
+}
+
+// String names the configuration as the paper's figure legend does.
+func (c NetConfig) String() string {
+	return fmt.Sprintf("k=%d m=%d d=%d", c.K, c.M, c.D)
+}
+
+// Stages reports lg n / lg k, the number of switch stages.
+func (c NetConfig) Stages() int {
+	s := 0
+	for n := 1; n < c.N; n *= c.K {
+		s++
+	}
+	return s
+}
+
+// Capacity reports the maximum sustainable traffic intensity: p must stay
+// below d/m messages per PE per network cycle ("the network has a
+// capacity of 1/m messages per cycle per PE" per copy).
+func (c NetConfig) Capacity() float64 { return float64(c.D) / float64(c.M) }
+
+// Cost reports the paper's cost factor C = d/(k·lg k); total network cost
+// is C·(n·lg n).
+func (c NetConfig) Cost() float64 {
+	return float64(c.D) / (float64(c.K) * math.Log2(float64(c.K)))
+}
+
+// Bandwidth reports d/k, the paper's figure of merit when m = k.
+func (c NetConfig) Bandwidth() float64 { return float64(c.D) / float64(c.K) }
+
+// SwitchDelay is the §4.1 average delay at one switch under traffic
+// intensity p (messages per PE per cycle, already divided per copy):
+//
+//	1 + m²·p·(1 − 1/k) / (2·(1 − m·p))
+//
+// The 1 is the unqueued service time; the second term is the M/D/1-like
+// queueing delay with the surprising m² factor (a switch with
+// multiplexing m behaves like a switch with a cycle m times longer
+// carrying m times the per-cycle traffic).
+func SwitchDelay(k, m int, p float64) float64 {
+	mf := float64(m)
+	denom := 1 - mf*p
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return 1 + mf*mf*p*(1-1/float64(k))/(2*denom)
+}
+
+// TransitTime is the §4.1 average one-way network traversal time in
+// network cycles under offered load p (messages per PE per cycle, before
+// splitting over the d copies):
+//
+//	T = (lg n / lg k) · switchDelay(p/d) + m − 1
+//
+// With m = k this reduces to the paper's
+// T = (1 + k(k−1)p/2(d−kp))·lg n/lg k + k − 1.
+func TransitTime(c NetConfig, p float64) float64 {
+	perCopy := p / float64(c.D)
+	return float64(c.Stages())*SwitchDelay(c.K, c.M, perCopy) + float64(c.M) - 1
+}
+
+// Figure7Configs are the configurations the paper plots in Figure 7 for a
+// 4096-port machine with the bandwidth constant B = k/m = 1: 2×2, 4×4 and
+// 8×8 switches at various duplication factors. The paper's discussion
+// singles out (k=4, d=2) as best and (k=8, d=6) as a same-cost
+// alternative.
+func Figure7Configs(n int) []NetConfig {
+	return []NetConfig{
+		{N: n, K: 2, M: 2, D: 1},
+		{N: n, K: 2, M: 2, D: 2},
+		{N: n, K: 4, M: 4, D: 1},
+		{N: n, K: 4, M: 4, D: 2},
+		{N: n, K: 8, M: 8, D: 4},
+		{N: n, K: 8, M: 8, D: 6},
+	}
+}
+
+// Figure7Series evaluates TransitTime over a sweep of traffic intensities
+// for one configuration, stopping just below capacity as the figure does
+// (p from 0 to 0.35 in the paper's axis).
+func Figure7Series(c NetConfig, maxP float64, points int) sim.Series {
+	s := sim.Series{Name: c.String()}
+	for i := 0; i <= points; i++ {
+		p := maxP * float64(i) / float64(points)
+		if p >= 0.98*c.Capacity() {
+			break
+		}
+		s.Add(p, TransitTime(c, p))
+	}
+	return s
+}
+
+// TwoChip models the §4.1 closing observation: implementing each switch
+// on two chips nearly doubles its bandwidth — halving the time
+// multiplexing factor m — at twice the chip count. The paper notes this
+// beats spending the same chips on a second network copy, because the
+// queueing delay is "highly sensitive to the multiplexing factor m".
+func (c NetConfig) TwoChip() NetConfig {
+	m := c.M / 2
+	if m < 1 {
+		m = 1
+	}
+	return NetConfig{N: c.N, K: c.K, M: m, D: c.D}
+}
+
+// CircuitSwitchedBandwidth is the §3.1.2 contrast case: without
+// pipelining (circuit switching holds the path for the full transit) the
+// per-PE bandwidth degrades as O(1/log n), so aggregate bandwidth is
+// O(n/log n) rather than the queued message-switched network's O(n).
+func CircuitSwitchedBandwidth(n, k int) float64 {
+	stages := NetConfig{N: n, K: k}.Stages()
+	return 1 / float64(stages)
+}

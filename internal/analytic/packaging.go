@@ -1,0 +1,81 @@
+package analytic
+
+import "math"
+
+// Machine packaging (§3.6): the paper's conservative 1990-technology
+// estimate of the component count for an N-processor Ultracomputer —
+// four chips per PE-PNI pair, nine chips per MM-MNI pair (a 1-megabyte
+// MM from 1-megabit chips), and two chips per 4-input-4-output switch
+// (which replaces four 2×2 switches). The paper concludes a 4096-PE
+// machine needs roughly 65,000 chips with only 19% in the network, and
+// splits the network over 64 "PE boards" (352 chips each) and 64 "MM
+// boards" (672 chips each).
+
+// Packaging holds the per-component chip-count assumptions of §3.6.
+type Packaging struct {
+	ChipsPerPE     int // PE + PNI
+	ChipsPerMM     int // MM + MNI
+	ChipsPerSwitch int // one k×k switch
+	SwitchRadix    int // k of the physical switch chip
+}
+
+// PaperPackaging is the paper's 1990 estimate.
+var PaperPackaging = Packaging{
+	ChipsPerPE:     4,
+	ChipsPerMM:     9,
+	ChipsPerSwitch: 2,
+	SwitchRadix:    4,
+}
+
+// ChipCount is the bill of materials for an n-processor machine.
+type ChipCount struct {
+	N        int
+	PEChips  int
+	MMChips  int
+	Switches int // number of k×k switches
+	NetChips int
+	Total    int
+	// NetworkFraction is the share of chips in the network; the paper
+	// reports 19% for the 4096-PE machine.
+	NetworkFraction float64
+}
+
+// Chips evaluates the §3.6 estimate for an n-PE machine (n a power of
+// the switch radix). A k×k-switch network for n ports has
+// (n·log_k n)/k switches.
+func (p Packaging) Chips(n int) ChipCount {
+	stages := int(math.Round(math.Log(float64(n)) / math.Log(float64(p.SwitchRadix))))
+	switches := stages * n / p.SwitchRadix
+	c := ChipCount{
+		N:        n,
+		PEChips:  n * p.ChipsPerPE,
+		MMChips:  n * p.ChipsPerMM,
+		Switches: switches,
+		NetChips: switches * p.ChipsPerSwitch,
+	}
+	c.Total = c.PEChips + c.MMChips + c.NetChips
+	c.NetworkFraction = float64(c.NetChips) / float64(c.Total)
+	return c
+}
+
+// Boards reports the §3.6 board partitioning: the network splits into
+// √N input modules and √N output modules, so a machine built from
+// two-chip 4×4 switches has √N "PE boards" (PEs + first half of the
+// stages) and √N "MM boards" (MMs + second half).
+type Boards struct {
+	PEBoards, MMBoards               int
+	ChipsPerPEBoard, ChipsPerMMBoard int
+}
+
+// BoardLayout evaluates the split for an n-PE machine.
+func (p Packaging) BoardLayout(n int) Boards {
+	c := p.Chips(n)
+	side := int(math.Round(math.Sqrt(float64(n))))
+	b := Boards{PEBoards: side, MMBoards: side}
+	// Half the network stages ride on each board type.
+	perBoardPEs := n / side
+	halfNetChips := c.NetChips / 2
+	b.ChipsPerPEBoard = perBoardPEs*p.ChipsPerPE + halfNetChips/side
+	b.ChipsPerMMBoard = perBoardPEs*p.ChipsPerMM + halfNetChips/side
+	return b
+}

@@ -1,0 +1,54 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperChipCount reproduces §3.6's headline numbers: a 4096-PE
+// machine needs roughly 65,000 chips, the count is dominated by memory
+// chips, and only ~19% of the chips are in the network.
+func TestPaperChipCount(t *testing.T) {
+	c := PaperPackaging.Chips(4096)
+	if c.Total < 60_000 || c.Total > 70_000 {
+		t.Fatalf("total chips = %d, paper says roughly 65,000", c.Total)
+	}
+	if c.MMChips <= c.PEChips || c.MMChips <= c.NetChips {
+		t.Fatal("memory chips must dominate, as in present-day machines")
+	}
+	if math.Abs(c.NetworkFraction-0.19) > 0.02 {
+		t.Fatalf("network fraction = %.3f, paper says 19%%", c.NetworkFraction)
+	}
+	// 6 stages of 4x4 switches for 4096 ports: 6*4096/4 = 6144 switches.
+	if c.Switches != 6144 {
+		t.Fatalf("switches = %d, want 6144", c.Switches)
+	}
+}
+
+// TestPaperBoardLayout reproduces the 64+64 board split with 352 and 672
+// chips per board.
+func TestPaperBoardLayout(t *testing.T) {
+	b := PaperPackaging.BoardLayout(4096)
+	if b.PEBoards != 64 || b.MMBoards != 64 {
+		t.Fatalf("boards = %d/%d, want 64/64", b.PEBoards, b.MMBoards)
+	}
+	if b.ChipsPerPEBoard != 352 {
+		t.Fatalf("PE board chips = %d, paper says 352", b.ChipsPerPEBoard)
+	}
+	if b.ChipsPerMMBoard != 672 {
+		t.Fatalf("MM board chips = %d, paper says 672", b.ChipsPerMMBoard)
+	}
+}
+
+func TestChipCountScaling(t *testing.T) {
+	// Component count is O(N log N): quadrupling N should grow the
+	// network by more than 4x but the PE/MM chips by exactly 4x.
+	small := PaperPackaging.Chips(256)
+	big := PaperPackaging.Chips(1024)
+	if big.PEChips != 4*small.PEChips || big.MMChips != 4*small.MMChips {
+		t.Fatal("PE/MM chips must scale linearly")
+	}
+	if float64(big.NetChips) <= 4*float64(small.NetChips) {
+		t.Fatal("network chips must scale superlinearly (N log N)")
+	}
+}

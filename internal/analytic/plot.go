@@ -1,0 +1,65 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ultracomputer/internal/sim"
+)
+
+// AsciiPlot renders series as a fixed-size ASCII chart (X right, Y up),
+// one glyph per series — enough to eyeball Figure 7 in a terminal.
+func AsciiPlot(title string, series []sim.Series, width, height int, maxY float64) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	glyphs := "*o+x#@%&"
+	var minX, maxX float64
+	first := true
+	for _, s := range series {
+		for _, p := range s.Points {
+			if first {
+				minX, maxX = p.X, p.X
+				first = false
+			}
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+		}
+	}
+	if first || maxX == minX {
+		return title + "\n(no data)\n"
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			if p.Y > maxY {
+				continue
+			}
+			c := int(float64(width-1) * (p.X - minX) / (maxX - minX))
+			r := height - 1 - int(float64(height-1)*p.Y/maxY)
+			if r >= 0 && r < height && c >= 0 && c < width {
+				grid[r][c] = g
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		y := maxY * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%7.1f |%s|\n", y, string(row))
+	}
+	fmt.Fprintf(&b, "%7s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%7s  %-*.3f%*.3f\n", "p:", width/2, minX, width-width/2, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "   %c = %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package analytic
+
+import (
+	"strings"
+	"testing"
+
+	"ultracomputer/internal/sim"
+)
+
+func TestAsciiPlotRendersSeries(t *testing.T) {
+	var a, b sim.Series
+	a.Name = "alpha"
+	b.Name = "beta"
+	for i := 0; i <= 10; i++ {
+		x := float64(i) / 10
+		a.Add(x, 10*x)
+		b.Add(x, 5)
+	}
+	out := AsciiPlot("demo", []sim.Series{a, b}, 40, 10, 12)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* = alpha") || !strings.Contains(out, "o = beta") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if strings.Count(out, "*") < 5 || strings.Count(out, "o") < 5 {
+		t.Fatalf("series not plotted:\n%s", out)
+	}
+}
+
+func TestAsciiPlotEmpty(t *testing.T) {
+	out := AsciiPlot("empty", nil, 40, 10, 1)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+}
+
+func TestAsciiPlotClampsTinyDimensions(t *testing.T) {
+	var s sim.Series
+	s.Add(0, 1)
+	s.Add(1, 2)
+	out := AsciiPlot("tiny", []sim.Series{s}, 1, 1, 3)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}

@@ -1,0 +1,193 @@
+package apps
+
+import (
+	"math"
+	"testing"
+)
+
+func TestArenaDisjoint(t *testing.T) {
+	a := NewArena(100)
+	x := a.Alloc(10)
+	y := a.Alloc(5)
+	z := a.Alloc(1)
+	if x != 100 || y != 110 || z != 115 {
+		t.Fatalf("allocations = %d, %d, %d", x, y, z)
+	}
+}
+
+func TestMatrixVectorAddressing(t *testing.T) {
+	m := Matrix{Base: 1000, N: 8}
+	if m.At(0, 0) != 1000 || m.At(2, 3) != 1000+19 {
+		t.Fatalf("matrix addressing wrong: %d", m.At(2, 3))
+	}
+	v := Vector{Base: 50, N: 4}
+	if v.At(3) != 53 {
+		t.Fatalf("vector addressing wrong: %d", v.At(3))
+	}
+}
+
+func TestCountersFreshAndBounded(t *testing.T) {
+	a := NewArena(0)
+	c := NewCounters(a, 3)
+	if c.Addr(0) == c.Addr(1) || c.Addr(1) == c.Addr(2) {
+		t.Fatal("counters alias")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range counter did not panic")
+		}
+	}()
+	c.Addr(3)
+}
+
+func TestWeatherSerialConservesAndSmooths(t *testing.T) {
+	n := 16
+	grid := zeros(n)
+	grid[n/2][n/2] = 100 // a spike diffuses
+	out := WeatherSerial(grid, 0.1, 20)
+	if out[n/2][n/2] >= 100 {
+		t.Fatal("spike did not diffuse")
+	}
+	if out[n/2][n/2+1] <= 0 {
+		t.Fatal("neighbors did not warm")
+	}
+	// Interior diffusion with zero boundary: total heat decreases but
+	// stays positive.
+	var sum float64
+	for i := range out {
+		for _, v := range out[i] {
+			sum += v
+			if v < -1e-9 {
+				t.Fatalf("negative temperature %v", v)
+			}
+		}
+	}
+	if sum <= 0 || sum > 100 {
+		t.Fatalf("total heat %v out of (0, 100]", sum)
+	}
+}
+
+func TestWeatherMachineMatchesSerial(t *testing.T) {
+	n := 12
+	grid := zeros(n)
+	for i := range grid {
+		for j := range grid[i] {
+			grid[i][j] = float64((i*7+j*3)%11) / 10
+		}
+	}
+	want := WeatherSerial(grid, 0.15, 6)
+	for _, p := range []int{1, 4, 8} {
+		m, lay := NewWeatherMachine(smallCfg(), p, grid, 0.15, 6, DefaultWeatherCost)
+		m.MustRun(500_000_000)
+		got := lay.Result(m)
+		for i := range want {
+			for j := range want[i] {
+				if math.Abs(got[i][j]-want[i][j]) > 1e-12 {
+					t.Fatalf("p=%d: grid[%d][%d] = %v, want %v", p, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestPoissonSerialConverges(t *testing.T) {
+	prob := NewPoissonProblem(4, func(x, y float64) float64 {
+		return math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+	})
+	u0 := zeros(GridSize(prob.L))
+	r0 := ResidualNorm(u0, prob.F)
+	u := PoissonSerial(prob, 4)
+	r4 := ResidualNorm(u, prob.F)
+	if r4 > r0/100 {
+		t.Fatalf("4 V-cycles reduced residual only from %v to %v", r0, r4)
+	}
+	// The analytic solution of −∇²u = sin(πx)sin(πy) is
+	// u = sin(πx)sin(πy)/(2π²); check mid-point within discretization
+	// error.
+	n := GridSize(prob.L)
+	mid := u[n/2][n/2]
+	want := 1.0 / (2 * math.Pi * math.Pi)
+	if math.Abs(mid-want) > 0.05*want {
+		t.Fatalf("u(1/2,1/2) = %v, want ≈ %v", mid, want)
+	}
+}
+
+func TestPoissonMachineMatchesSerial(t *testing.T) {
+	prob := NewPoissonProblem(3, func(x, y float64) float64 {
+		return x*y + 1
+	})
+	want := PoissonSerial(prob, 2)
+	for _, p := range []int{1, 4} {
+		m, lay := NewPoissonMachine(smallCfg(), p, prob, 2, DefaultPoissonCost)
+		m.MustRun(2_000_000_000)
+		got := lay.Result(m)
+		for i := range want {
+			for j := range want[i] {
+				if math.Abs(got[i][j]-want[i][j]) > 1e-12 {
+					t.Fatalf("p=%d: u[%d][%d] = %v, want %v", p, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestMonteCarloSerialConserves(t *testing.T) {
+	p := DefaultMCParams
+	p.Particles = 400
+	tally := MonteCarloSerial(p)
+	if tally.Total() != int64(p.Particles) {
+		t.Fatalf("accounted %d of %d particles", tally.Total(), p.Particles)
+	}
+	var perCell int64
+	for _, c := range tally.PerCell {
+		perCell += c
+	}
+	if perCell != tally.Absorbed {
+		t.Fatalf("per-cell sum %d != absorbed %d", perCell, tally.Absorbed)
+	}
+	if tally.Reflected == 0 || tally.Absorbed == 0 {
+		t.Fatal("degenerate physics: nothing reflected or absorbed")
+	}
+}
+
+// TestMonteCarloMachineIndependentOfP checks the parallel tallies match
+// the serial run exactly for any PE count — per-particle deterministic
+// RNG plus fetch-and-add tallies make the result schedule-independent.
+func TestMonteCarloMachineIndependentOfP(t *testing.T) {
+	params := DefaultMCParams
+	params.Particles = 96
+	params.Cells = 8
+	want := MonteCarloSerial(params)
+	for _, p := range []int{1, 3, 16} {
+		m, lay := NewMonteCarloMachine(smallCfg(), p, params, DefaultMCCost)
+		m.MustRun(1_000_000_000)
+		got := lay.Result(m)
+		if got.Absorbed != want.Absorbed || got.Transmitted != want.Transmitted ||
+			got.Reflected != want.Reflected {
+			t.Fatalf("p=%d: tally %+v, want %+v", p, got, want)
+		}
+		for i := range want.PerCell {
+			if got.PerCell[i] != want.PerCell[i] {
+				t.Fatalf("p=%d: cell %d = %d, want %d", p, i, got.PerCell[i], want.PerCell[i])
+			}
+		}
+	}
+}
+
+// TestMonteCarloSpeedup: the data-dependent walks still parallelize.
+func TestMonteCarloSpeedup(t *testing.T) {
+	params := DefaultMCParams
+	params.Particles = 128
+	params.Cells = 8
+	time1 := mcTime(t, params, 1)
+	time8 := mcTime(t, params, 8)
+	if float64(time8) > 0.4*float64(time1) {
+		t.Fatalf("8 PEs: %d cycles vs %d serial; expected ~linear speedup", time8, time1)
+	}
+}
+
+func mcTime(t *testing.T, params MCParams, p int) int64 {
+	t.Helper()
+	m, _ := NewMonteCarloMachine(smallCfg(), p, params, DefaultMCCost)
+	return m.MustRun(1_000_000_000)
+}

@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/pe"
+)
+
+// Parallel dense matrix multiply C = A·B, the classic embarrassingly
+// parallel workload (§3.5 even imagines dedicated matrix-multiplier
+// PEs). It demonstrates the §3.2 discipline for read-only shared data:
+// every PE copies B into its private (cached) memory once — legal
+// because B is never written during the computation — then claims rows
+// of C by fetch-and-add and computes them entirely out of private
+// storage.
+
+// MatMulSerial multiplies a (m×k) by b (k×n).
+func MatMulSerial(a, b [][]float64) [][]float64 {
+	m, k := len(a), len(b)
+	n := len(b[0])
+	c := make([][]float64, m)
+	for i := range c {
+		if len(a[i]) != k {
+			panic("apps: dimension mismatch")
+		}
+		c[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += a[i][l] * b[l][j]
+			}
+			c[i][j] = s
+		}
+	}
+	return c
+}
+
+// MatMulCost tunes the per-multiply-add charge.
+type MatMulCost struct {
+	PrivatePerElem int
+	ComputePerElem int
+}
+
+// DefaultMatMulCost is the TRED2-compatible flop budget.
+var DefaultMatMulCost = MatMulCost{PrivatePerElem: 4, ComputePerElem: 12}
+
+// MatMulLayout is the shared-memory layout of a run.
+type MatMulLayout struct {
+	N       int // square size
+	A, B, C Matrix
+	counter int64
+}
+
+// NewMatMulMachine builds a machine whose p PEs compute C = A·B for
+// square n×n matrices.
+func NewMatMulMachine(cfg machine.Config, p int, a, b [][]float64, cost MatMulCost) (*machine.Machine, *MatMulLayout) {
+	n := len(a)
+	ar := NewArena(0)
+	lay := &MatMulLayout{N: n}
+	lay.A = Matrix{Base: ar.Alloc(int64(n * n)), N: n}
+	lay.B = Matrix{Base: ar.Alloc(int64(n * n)), N: n}
+	lay.C = Matrix{Base: ar.Alloc(int64(n * n)), N: n}
+	lay.counter = ar.Alloc(1)
+
+	m := machine.SPMD(cfg, p, matmulProgram(lay, cost))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.WriteSharedF(lay.A.At(i, j), a[i][j])
+			m.WriteSharedF(lay.B.At(i, j), b[i][j])
+		}
+	}
+	return m, lay
+}
+
+// Result reads C after the run.
+func (l *MatMulLayout) Result(m *machine.Machine) [][]float64 {
+	out := make([][]float64, l.N)
+	for i := range out {
+		out[i] = make([]float64, l.N)
+		for j := 0; j < l.N; j++ {
+			out[i][j] = m.ReadSharedF(l.C.At(i, j))
+		}
+	}
+	return out
+}
+
+func matmulProgram(l *MatMulLayout, cost MatMulCost) pe.Program {
+	return func(ctx *pe.Ctx) {
+		n := l.N
+		// Copy read-only B into private memory (prefetched), §3.2.
+		bLocal := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			bLocal[i] = make([]float64, n)
+			LoadRowF(ctx, l.B, i, bLocal[i])
+			ctx.Private(n)
+		}
+		aRow := make([]float64, n)
+		cRow := make([]float64, n)
+		SelfSchedule(ctx, l.counter, n, func(i int) {
+			LoadRowF(ctx, l.A, i, aRow)
+			ctx.Private(n)
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += aRow[k] * bLocal[k][j]
+				}
+				cRow[j] = s
+			}
+			// One row costs n² multiply-adds.
+			ctx.Private(n * n * cost.PrivatePerElem)
+			ctx.Compute(n * n * cost.ComputePerElem)
+			for j := 0; j < n; j++ {
+				ctx.StoreF(l.C.At(i, j), cRow[j])
+			}
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"ultracomputer/internal/sim"
+)
+
+func randMat(n int, seed uint64) [][]float64 {
+	r := sim.NewRand(seed)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := range a[i] {
+			a[i][j] = r.Float64()*2 - 1
+		}
+	}
+	return a
+}
+
+func TestMatMulSerialIdentity(t *testing.T) {
+	a := randMat(5, 1)
+	id := make([][]float64, 5)
+	for i := range id {
+		id[i] = make([]float64, 5)
+		id[i][i] = 1
+	}
+	c := MatMulSerial(a, id)
+	for i := range a {
+		for j := range a[i] {
+			if c[i][j] != a[i][j] {
+				t.Fatalf("A·I != A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatMulSerialKnown(t *testing.T) {
+	c := MatMulSerial(
+		[][]float64{{1, 2}, {3, 4}},
+		[][]float64{{5, 6}, {7, 8}},
+	)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c[i][j] != want[i][j] {
+				t.Fatalf("C = %v, want %v", c, want)
+			}
+		}
+	}
+}
+
+func TestMatMulMachineMatchesSerial(t *testing.T) {
+	const n = 10
+	a, b := randMat(n, 3), randMat(n, 4)
+	want := MatMulSerial(a, b)
+	for _, p := range []int{1, 4, 16} {
+		m, lay := NewMatMulMachine(smallCfg(), p, a, b, DefaultMatMulCost)
+		m.MustRun(2_000_000_000)
+		got := lay.Result(m)
+		for i := range want {
+			for j := range want[i] {
+				if math.Abs(got[i][j]-want[i][j]) > 1e-12 {
+					t.Fatalf("p=%d: C[%d][%d] = %v, want %v", p, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulNearLinearSpeedup: rows are independent, so the speedup
+// should be close to the PE count once the B-copy startup is amortized.
+func TestMatMulNearLinearSpeedup(t *testing.T) {
+	const n = 16
+	a, b := randMat(n, 5), randMat(n, 6)
+	time := func(p int) int64 {
+		m, _ := NewMatMulMachine(smallCfg(), p, a, b, DefaultMatMulCost)
+		return m.MustRun(5_000_000_000)
+	}
+	t1, t8 := time(1), time(8)
+	speedup := float64(t1) / float64(t8)
+	if speedup < 4 {
+		t.Fatalf("speedup on 8 PEs = %.2f, want >= 4", speedup)
+	}
+}

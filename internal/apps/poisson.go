@@ -1,0 +1,434 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"ultracomputer/internal/coord"
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/pe"
+)
+
+// Multigrid Poisson solver (§4.2's program 4): V-cycles of damped Jacobi
+// smoothing, full-weighting restriction and bilinear prolongation for the
+// Dirichlet problem −∇²u = f on the unit square, discretized on an
+// (2^L+1)² grid.
+//
+// The parallel version distributes interior rows at every level with
+// fetch-and-add chunk counters and synchronizes phases with
+// fetch-and-add barriers. Jacobi smoothing is order-independent, so the
+// parallel solver reproduces the serial one exactly, which the tests
+// exploit.
+
+const jacobiOmega = 2.0 / 3.0
+
+// PoissonProblem defines one instance: f sampled on the grid, zero
+// boundary.
+type PoissonProblem struct {
+	L int         // finest grid is (2^L+1)²
+	F [][]float64 // right-hand side on the finest grid
+}
+
+// GridSize reports 2^L+1.
+func GridSize(l int) int { return 1<<uint(l) + 1 }
+
+// NewPoissonProblem samples f(x, y) on the finest grid.
+func NewPoissonProblem(levels int, f func(x, y float64) float64) PoissonProblem {
+	n := GridSize(levels)
+	h := 1.0 / float64(n-1)
+	grid := make([][]float64, n)
+	for i := range grid {
+		grid[i] = make([]float64, n)
+		for j := range grid[i] {
+			grid[i][j] = f(float64(i)*h, float64(j)*h)
+		}
+	}
+	return PoissonProblem{L: levels, F: grid}
+}
+
+// ResidualNorm reports the max-norm of f − A·u on an n×n grid with mesh
+// width h.
+func ResidualNorm(u, f [][]float64) float64 {
+	n := len(u)
+	h := 1.0 / float64(n-1)
+	inv := 1 / (h * h)
+	worst := 0.0
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			au := (4*u[i][j] - u[i-1][j] - u[i+1][j] - u[i][j-1] - u[i][j+1]) * inv
+			if r := math.Abs(f[i][j] - au); r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+// PoissonSerial runs vcycles V-cycles (ν1 = ν2 = 2) and returns u.
+func PoissonSerial(p PoissonProblem, vcycles int) [][]float64 {
+	n := GridSize(p.L)
+	u := zeros(n)
+	f := copyGrid(p.F)
+	for c := 0; c < vcycles; c++ {
+		vcycleSerial(u, f, p.L)
+	}
+	return u
+}
+
+func zeros(n int) [][]float64 {
+	g := make([][]float64, n)
+	for i := range g {
+		g[i] = make([]float64, n)
+	}
+	return g
+}
+
+func vcycleSerial(u, f [][]float64, level int) {
+	n := len(u)
+	h := 1.0 / float64(n-1)
+	if level <= 1 {
+		// Coarsest: smooth to convergence (3×3 has one interior point;
+		// a few sweeps are exact enough for any small grid).
+		for s := 0; s < 20; s++ {
+			jacobiSerial(u, f, h)
+		}
+		return
+	}
+	jacobiSerial(u, f, h)
+	jacobiSerial(u, f, h)
+	r := residualSerial(u, f, h)
+	fc := restrictSerial(r)
+	uc := zeros(len(fc))
+	vcycleSerial(uc, fc, level-1)
+	prolongAddSerial(u, uc)
+	jacobiSerial(u, f, h)
+	jacobiSerial(u, f, h)
+}
+
+// jacobiSerial performs one damped-Jacobi sweep in place (via a
+// temporary, preserving order independence).
+func jacobiSerial(u, f [][]float64, h float64) {
+	n := len(u)
+	h2 := h * h
+	next := copyGrid(u)
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			gs := (u[i-1][j] + u[i+1][j] + u[i][j-1] + u[i][j+1] + h2*f[i][j]) / 4
+			next[i][j] = u[i][j] + jacobiOmega*(gs-u[i][j])
+		}
+	}
+	for i := 1; i < n-1; i++ {
+		copy(u[i][1:n-1], next[i][1:n-1])
+	}
+}
+
+func residualSerial(u, f [][]float64, h float64) [][]float64 {
+	n := len(u)
+	inv := 1 / (h * h)
+	r := zeros(n)
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			au := (4*u[i][j] - u[i-1][j] - u[i+1][j] - u[i][j-1] - u[i][j+1]) * inv
+			r[i][j] = f[i][j] - au
+		}
+	}
+	return r
+}
+
+// restrictSerial is full-weighting restriction to the next coarser grid.
+func restrictSerial(r [][]float64) [][]float64 {
+	nf := len(r)
+	nc := (nf-1)/2 + 1
+	out := zeros(nc)
+	for i := 1; i < nc-1; i++ {
+		for j := 1; j < nc-1; j++ {
+			fi, fj := 2*i, 2*j
+			out[i][j] = (4*r[fi][fj] +
+				2*(r[fi-1][fj]+r[fi+1][fj]+r[fi][fj-1]+r[fi][fj+1]) +
+				r[fi-1][fj-1] + r[fi-1][fj+1] + r[fi+1][fj-1] + r[fi+1][fj+1]) / 16
+		}
+	}
+	return out
+}
+
+// prolongAddSerial adds the bilinear interpolation of coarse e onto fine
+// u.
+func prolongAddSerial(u, e [][]float64) {
+	nc := len(e)
+	nf := len(u)
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			u[2*i][2*j] += e[i][j]
+		}
+	}
+	for i := 0; i < nf; i += 2 {
+		for j := 1; j < nf-1; j += 2 {
+			u[i][j] += (e[i/2][(j-1)/2] + e[i/2][(j+1)/2]) / 2
+		}
+	}
+	for i := 1; i < nf-1; i += 2 {
+		for j := 0; j < nf; j++ {
+			var add float64
+			if j%2 == 0 {
+				add = (e[(i-1)/2][j/2] + e[(i+1)/2][j/2]) / 2
+			} else {
+				add = (e[(i-1)/2][(j-1)/2] + e[(i-1)/2][(j+1)/2] +
+					e[(i+1)/2][(j-1)/2] + e[(i+1)/2][(j+1)/2]) / 4
+			}
+			u[i][j] += add
+		}
+	}
+}
+
+// PoissonCost tunes the machine version's per-element charges. Multigrid
+// arithmetic (h² scalings, weighting stencils) is denser than the
+// weather stencil, which keeps its shared-reference rate below the
+// weather program's as Table 1 reports.
+type PoissonCost struct {
+	PrivatePerElem int
+	ComputePerElem int
+	ChunkRows      int
+}
+
+// DefaultPoissonCost matches the paper's measured mix (~0.24 data refs,
+// ~0.06 shared refs per instruction).
+var DefaultPoissonCost = PoissonCost{PrivatePerElem: 3, ComputePerElem: 45, ChunkRows: 2}
+
+// PoissonLayout is the shared-memory layout of a parallel run: per level,
+// grids u, f, tmp (Jacobi target) and r (residual).
+type PoissonLayout struct {
+	L, P     int
+	U, F     []Matrix // index by level, 0 = coarsest ... L = finest
+	Tmp, R   []Matrix
+	counters *Counters
+	barrier  int64
+	vcycles  int
+}
+
+// NewPoissonMachine builds a machine whose p PEs run vcycles V-cycles on
+// the problem.
+func NewPoissonMachine(cfg machine.Config, p int, prob PoissonProblem, vcycles int, cost PoissonCost) (*machine.Machine, *PoissonLayout) {
+	if prob.L < 2 {
+		panic(fmt.Sprintf("apps: Poisson needs L >= 2, got %d", prob.L))
+	}
+	ar := NewArena(0)
+	lay := &PoissonLayout{L: prob.L, P: p, vcycles: vcycles}
+	for l := 0; l <= prob.L; l++ {
+		n := GridSize(l)
+		cells := int64(n * n)
+		lay.U = append(lay.U, Matrix{Base: ar.Alloc(cells), N: n})
+		lay.F = append(lay.F, Matrix{Base: ar.Alloc(cells), N: n})
+		lay.Tmp = append(lay.Tmp, Matrix{Base: ar.Alloc(cells), N: n})
+		lay.R = append(lay.R, Matrix{Base: ar.Alloc(cells), N: n})
+	}
+	// Counter budget: every level-op consumes one; a V-cycle uses a few
+	// per level; size generously.
+	lay.counters = NewCounters(ar, int64(vcycles*(prob.L+1)*64+64))
+	lay.barrier = ar.Alloc(coord.BarrierCells)
+
+	m := machine.SPMD(cfg, p, poissonProgram(lay, cost))
+	nf := GridSize(prob.L)
+	for i := 0; i < nf; i++ {
+		for j := 0; j < nf; j++ {
+			m.WriteSharedF(lay.F[prob.L].At(i, j), prob.F[i][j])
+		}
+	}
+	return m, lay
+}
+
+// Result reads the finest-level solution after the run.
+func (l *PoissonLayout) Result(m *machine.Machine) [][]float64 {
+	n := GridSize(l.L)
+	out := zeros(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out[i][j] = m.ReadSharedF(l.U[l.L].At(i, j))
+		}
+	}
+	return out
+}
+
+// poissonState is the per-PE execution state; every PE advances the same
+// deterministic sequence of counter indices, buffer parities and barrier
+// waits.
+type poissonState struct {
+	ctx  *pe.Ctx
+	lay  *PoissonLayout
+	cost PoissonCost
+	b    *coord.Barrier
+	cidx int64
+	// cur/alt are the ping-pong smoothing buffers per level; every PE
+	// flips them identically, and each level sees an even number of
+	// sweeps per V-cycle visit, so results always land back in cur
+	// (which starts as lay.U[level]).
+	cur, alt []Matrix
+}
+
+func (s *poissonState) nextCounter() int64 {
+	a := s.lay.counters.Addr(s.cidx)
+	s.cidx++
+	return a
+}
+
+func (s *poissonState) charge(elems int) {
+	if elems > 0 {
+		s.ctx.Private(elems * s.cost.PrivatePerElem)
+		s.ctx.Compute(elems * s.cost.ComputePerElem)
+	}
+}
+
+func poissonProgram(lay *PoissonLayout, cost PoissonCost) pe.Program {
+	return func(ctx *pe.Ctx) {
+		s := &poissonState{ctx: ctx, lay: lay, cost: cost}
+		s.b = attachBarrier(ctx, lay.barrier, lay.P, ctx.PE())
+		s.cur = append([]Matrix(nil), lay.U...)
+		s.alt = append([]Matrix(nil), lay.Tmp...)
+		for c := 0; c < lay.vcycles; c++ {
+			s.vcycle(lay.L)
+		}
+	}
+}
+
+func (s *poissonState) vcycle(level int) {
+	if level <= 1 {
+		for i := 0; i < 20; i++ {
+			s.jacobi(level)
+		}
+		return
+	}
+	s.jacobi(level)
+	s.jacobi(level)
+	s.residual(level)
+	s.restrict(level)
+	s.clearU(level - 1)
+	s.vcycle(level - 1)
+	s.prolongAdd(level)
+	s.jacobi(level)
+	s.jacobi(level)
+}
+
+// jacobi: one damped sweep of the level's current buffer into its
+// alternate, then flip — no copy-back pass, like the paper's double
+// buffering. Boundaries of both buffers are zero by construction.
+func (s *poissonState) jacobi(level int) {
+	n := GridSize(level)
+	h := 1.0 / float64(n-1)
+	h2 := h * h
+	u, dst, f := s.cur[level], s.alt[level], s.lay.F[level]
+	out := make([]float64, n)
+	fbuf := make([]float64, n)
+	WindowPass(s.ctx, s.nextCounter(), u, dst, n, s.cost.ChunkRows,
+		func(i int, up, cur, down []float64) []float64 {
+			LoadRowF(s.ctx, f, i, fbuf)
+			for j := 1; j < n-1; j++ {
+				gs := (up[j] + down[j] + cur[j-1] + cur[j+1] + h2*fbuf[j]) / 4
+				out[j] = cur[j] + jacobiOmega*(gs-cur[j])
+			}
+			s.charge(n)
+			return out
+		})
+	s.cur[level], s.alt[level] = s.alt[level], s.cur[level]
+	s.b.Wait()
+}
+
+func (s *poissonState) residual(level int) {
+	lay := s.lay
+	n := GridSize(level)
+	h := 1.0 / float64(n-1)
+	inv := 1 / (h * h)
+	u, f, r := s.cur[level], lay.F[level], lay.R[level]
+	out := make([]float64, n)
+	fbuf := make([]float64, n)
+	WindowPass(s.ctx, s.nextCounter(), u, r, n, s.cost.ChunkRows,
+		func(i int, up, cur, down []float64) []float64 {
+			LoadRowF(s.ctx, f, i, fbuf)
+			for j := 1; j < n-1; j++ {
+				au := (4*cur[j] - up[j] - down[j] - cur[j-1] - cur[j+1]) * inv
+				out[j] = fbuf[j] - au
+			}
+			s.charge(n)
+			return out
+		})
+	s.b.Wait()
+}
+
+// restrict full-weights R[level] into F[level-1] (interior; boundary
+// stays zero).
+func (s *poissonState) restrict(level int) {
+	lay := s.lay
+	nc := GridSize(level - 1)
+	rf := lay.R[level]
+	fc := lay.F[level-1]
+	SelfSchedule(s.ctx, s.nextCounter(), nc-2, func(ci int) {
+		i := ci + 1
+		fi := 2 * i
+		// Load the three fine rows once.
+		rows := make([][]float64, 3)
+		nf := GridSize(level)
+		for r := 0; r < 3; r++ {
+			rows[r] = make([]float64, nf)
+			LoadRowF(s.ctx, rf, fi-1+r, rows[r])
+		}
+		for j := 1; j < nc-1; j++ {
+			fj := 2 * j
+			v := (4*rows[1][fj] +
+				2*(rows[0][fj]+rows[2][fj]+rows[1][fj-1]+rows[1][fj+1]) +
+				rows[0][fj-1] + rows[0][fj+1] + rows[2][fj-1] + rows[2][fj+1]) / 16
+			s.ctx.StoreF(fc.At(i, j), v)
+		}
+		s.charge(nc)
+	})
+	s.b.Wait()
+}
+
+// clearU zeroes the interior of U[level].
+func (s *poissonState) clearU(level int) {
+	n := GridSize(level)
+	u := s.cur[level]
+	SelfSchedule(s.ctx, s.nextCounter(), n-2, func(ci int) {
+		i := ci + 1
+		for j := 1; j < n-1; j++ {
+			s.ctx.StoreF(u.At(i, j), 0)
+		}
+		s.charge(n / 4)
+	})
+	s.b.Wait()
+}
+
+// prolongAdd bilinearly interpolates U[level-1] and adds it onto
+// U[level], row by row over the fine grid.
+func (s *poissonState) prolongAdd(level int) {
+	nf := GridSize(level)
+	nc := GridSize(level - 1)
+	uf, uc := s.cur[level], s.cur[level-1]
+	SelfSchedule(s.ctx, s.nextCounter(), nf-2, func(ci int) {
+		i := ci + 1
+		// Load the coarse row(s) feeding fine row i.
+		lo := make([]float64, nc)
+		hi := make([]float64, nc)
+		if i%2 == 0 {
+			LoadRowF(s.ctx, uc, i/2, lo)
+		} else {
+			LoadRowF(s.ctx, uc, (i-1)/2, lo)
+			LoadRowF(s.ctx, uc, (i+1)/2, hi)
+		}
+		ubuf := make([]float64, nf)
+		LoadRowF(s.ctx, uf, i, ubuf)
+		for j := 1; j < nf-1; j++ {
+			var add float64
+			switch {
+			case i%2 == 0 && j%2 == 0:
+				add = lo[j/2]
+			case i%2 == 0:
+				add = (lo[(j-1)/2] + lo[(j+1)/2]) / 2
+			case j%2 == 0:
+				add = (lo[j/2] + hi[j/2]) / 2
+			default:
+				add = (lo[(j-1)/2] + lo[(j+1)/2] + hi[(j-1)/2] + hi[(j+1)/2]) / 4
+			}
+			s.ctx.StoreF(uf.At(i, j), ubuf[j]+add)
+		}
+		s.charge(nf)
+	})
+	s.b.Wait()
+}

@@ -1,0 +1,216 @@
+package apps
+
+import (
+	"ultracomputer/internal/coord"
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/pe"
+)
+
+// Shallow-water equations — the atmospheric-modeling workload of §5.0
+// (the paper's applications list includes atmospheric modeling, and the
+// weather program of §4.2 solves a 2-D PDE of exactly this family). The
+// state is three coupled fields on a periodic n×n grid — surface height
+// h and velocities u, v — advanced with a centered-difference flux form:
+//
+//	h' = h − dt·(∂(hu)/∂x + ∂(hv)/∂y)
+//	u' = u − dt·(u·∂u/∂x + v·∂u/∂y + g·∂h/∂x)
+//	v' = v − dt·(u·∂v/∂x + v·∂v/∂y + g·∂h/∂y)
+//
+// Centered differences over periodic boundaries make the height update
+// exactly conservative: total mass Σh is preserved to rounding, which
+// the tests exploit. The parallel version self-schedules row chunks per
+// timestep and barriers between steps, like the weather program, but
+// carries three fields through the network per cell.
+
+// ShallowState is the three-field state.
+type ShallowState struct {
+	H, U, V [][]float64
+}
+
+// NewShallowState builds an n×n state from initial-condition functions.
+func NewShallowState(n int, h, u, v func(x, y float64) float64) ShallowState {
+	s := ShallowState{H: zeros(n), U: zeros(n), V: zeros(n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x, y := float64(i)/float64(n), float64(j)/float64(n)
+			s.H[i][j] = h(x, y)
+			s.U[i][j] = u(x, y)
+			s.V[i][j] = v(x, y)
+		}
+	}
+	return s
+}
+
+// Mass reports Σh.
+func (s ShallowState) Mass() float64 {
+	total := 0.0
+	for i := range s.H {
+		for _, v := range s.H[i] {
+			total += v
+		}
+	}
+	return total
+}
+
+// ShallowParams are the integration constants.
+type ShallowParams struct {
+	G, Dt, Dx float64
+	Steps     int
+}
+
+// DefaultShallowParams is a stable configuration for unit-height water.
+var DefaultShallowParams = ShallowParams{G: 9.8, Dt: 0.001, Dx: 0.1, Steps: 10}
+
+// stepCell computes one cell's next state from its periodic neighbors.
+func stepCell(p ShallowParams,
+	h, u, v, hN, hS, hW, hE, uN, uS, uW, uE, vN, vS, vW, vE float64) (nh, nu, nv float64) {
+	inv2dx := 1 / (2 * p.Dx)
+	dhu := (hS*uS - hN*uN) * inv2dx // x is the row (i) direction
+	dhv := (hE*vE - hW*vW) * inv2dx
+	nh = h - p.Dt*(dhu+dhv)
+	nu = u - p.Dt*(u*(uS-uN)*inv2dx+v*(uE-uW)*inv2dx+p.G*(hS-hN)*inv2dx)
+	nv = v - p.Dt*(u*(vS-vN)*inv2dx+v*(vE-vW)*inv2dx+p.G*(hE-hW)*inv2dx)
+	return nh, nu, nv
+}
+
+// ShallowSerial advances the state (untouched) and returns the result.
+func ShallowSerial(s ShallowState, p ShallowParams) ShallowState {
+	n := len(s.H)
+	cur := ShallowState{H: copyGrid(s.H), U: copyGrid(s.U), V: copyGrid(s.V)}
+	next := ShallowState{H: zeros(n), U: zeros(n), V: zeros(n)}
+	for step := 0; step < p.Steps; step++ {
+		for i := 0; i < n; i++ {
+			iN, iS := (i+n-1)%n, (i+1)%n
+			for j := 0; j < n; j++ {
+				jW, jE := (j+n-1)%n, (j+1)%n
+				next.H[i][j], next.U[i][j], next.V[i][j] = stepCell(p,
+					cur.H[i][j], cur.U[i][j], cur.V[i][j],
+					cur.H[iN][j], cur.H[iS][j], cur.H[i][jW], cur.H[i][jE],
+					cur.U[iN][j], cur.U[iS][j], cur.U[i][jW], cur.U[i][jE],
+					cur.V[iN][j], cur.V[iS][j], cur.V[i][jW], cur.V[i][jE])
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// ShallowCost tunes the machine version's charges.
+type ShallowCost struct {
+	PrivatePerElem int
+	ComputePerElem int
+	ChunkRows      int
+}
+
+// DefaultShallowCost reflects the heavier per-cell arithmetic (three
+// coupled fields).
+var DefaultShallowCost = ShallowCost{PrivatePerElem: 4, ComputePerElem: 30, ChunkRows: 2}
+
+// ShallowLayout is the shared-memory layout: three fields × two buffers.
+type ShallowLayout struct {
+	N, P, Steps int
+	Fields      [2][3]Matrix // [buffer][h,u,v]
+	counters    *Counters
+	barrier     int64
+}
+
+// NewShallowMachine builds a machine whose p PEs integrate the state.
+func NewShallowMachine(cfg machine.Config, p int, s ShallowState, prm ShallowParams, cost ShallowCost) (*machine.Machine, *ShallowLayout) {
+	n := len(s.H)
+	ar := NewArena(0)
+	lay := &ShallowLayout{N: n, P: p, Steps: prm.Steps}
+	for b := 0; b < 2; b++ {
+		for f := 0; f < 3; f++ {
+			lay.Fields[b][f] = Matrix{Base: ar.Alloc(int64(n * n)), N: n}
+		}
+	}
+	lay.counters = NewCounters(ar, int64(prm.Steps))
+	lay.barrier = ar.Alloc(coord.BarrierCells)
+
+	m := machine.SPMD(cfg, p, shallowProgram(lay, prm, cost))
+	fields := [3][][]float64{s.H, s.U, s.V}
+	for f := 0; f < 3; f++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.WriteSharedF(lay.Fields[0][f].At(i, j), fields[f][i][j])
+			}
+		}
+	}
+	return m, lay
+}
+
+// Result reads the final state.
+func (l *ShallowLayout) Result(m *machine.Machine) ShallowState {
+	buf := l.Steps % 2
+	out := ShallowState{H: zeros(l.N), U: zeros(l.N), V: zeros(l.N)}
+	fields := [3][][]float64{out.H, out.U, out.V}
+	for f := 0; f < 3; f++ {
+		for i := 0; i < l.N; i++ {
+			for j := 0; j < l.N; j++ {
+				fields[f][i][j] = m.ReadSharedF(l.Fields[buf][f].At(i, j))
+			}
+		}
+	}
+	return out
+}
+
+func shallowProgram(l *ShallowLayout, prm ShallowParams, cost ShallowCost) pe.Program {
+	return func(ctx *pe.Ctx) {
+		n, p := l.N, l.P
+		b := attachBarrier(ctx, l.barrier, p, ctx.PE())
+		chunk := cost.ChunkRows
+		if chunk < 1 {
+			chunk = 1
+		}
+		nChunks := (n + chunk - 1) / chunk
+		// Row buffers: for each field, chunk+2 rows (halo above/below).
+		win := make([][3][]float64, chunk+2)
+		for r := range win {
+			for f := 0; f < 3; f++ {
+				win[r][f] = make([]float64, n)
+			}
+		}
+		rowOut := make([][3]float64, n)
+		for step := 0; step < l.Steps; step++ {
+			src, dst := l.Fields[step%2], l.Fields[(step+1)%2]
+			SelfSchedule(ctx, l.counters.Addr(int64(step)), nChunks, func(ci int) {
+				lo := ci * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				rows := hi - lo
+				for r := 0; r < rows+2; r++ {
+					i := ((lo - 1 + r) + n) % n // periodic halo
+					for f := 0; f < 3; f++ {
+						LoadRowF(ctx, src[f], i, win[r][f])
+					}
+				}
+				for r := 1; r <= rows; r++ {
+					i := lo + r - 1
+					h, u, v := win[r][0], win[r][1], win[r][2]
+					hN, hS := win[r-1][0], win[r+1][0]
+					uN, uS := win[r-1][1], win[r+1][1]
+					vN, vS := win[r-1][2], win[r+1][2]
+					for j := 0; j < n; j++ {
+						jW, jE := (j+n-1)%n, (j+1)%n
+						nh, nu, nv := stepCell(prm,
+							h[j], u[j], v[j],
+							hN[j], hS[j], h[jW], h[jE],
+							uN[j], uS[j], u[jW], u[jE],
+							vN[j], vS[j], v[jW], v[jE])
+						rowOut[j] = [3]float64{nh, nu, nv}
+					}
+					for j := 0; j < n; j++ {
+						ctx.StoreF(dst[0].At(i, j), rowOut[j][0])
+						ctx.StoreF(dst[1].At(i, j), rowOut[j][1])
+						ctx.StoreF(dst[2].At(i, j), rowOut[j][2])
+					}
+					ctx.Private(n * cost.PrivatePerElem)
+					ctx.Compute(n * cost.ComputePerElem)
+				}
+			})
+			b.Wait()
+		}
+	}
+}

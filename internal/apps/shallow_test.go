@@ -1,0 +1,94 @@
+package apps
+
+import (
+	"math"
+	"testing"
+)
+
+func gaussianBump(n int) ShallowState {
+	return NewShallowState(n,
+		func(x, y float64) float64 {
+			dx, dy := x-0.5, y-0.5
+			return 1 + 0.1*math.Exp(-40*(dx*dx+dy*dy))
+		},
+		func(x, y float64) float64 { return 0 },
+		func(x, y float64) float64 { return 0 },
+	)
+}
+
+func TestShallowSerialConservesMass(t *testing.T) {
+	s := gaussianBump(16)
+	before := s.Mass()
+	p := DefaultShallowParams
+	p.Steps = 30
+	out := ShallowSerial(s, p)
+	after := out.Mass()
+	if math.Abs(after-before) > 1e-9*math.Abs(before) {
+		t.Fatalf("mass drifted: %v -> %v", before, after)
+	}
+	// The bump must have started moving: velocities nonzero somewhere.
+	moving := false
+	for i := range out.U {
+		for j := range out.U[i] {
+			if math.Abs(out.U[i][j]) > 1e-6 || math.Abs(out.V[i][j]) > 1e-6 {
+				moving = true
+			}
+			if math.IsNaN(out.H[i][j]) {
+				t.Fatal("height went NaN: unstable integration")
+			}
+		}
+	}
+	if !moving {
+		t.Fatal("gravity did not accelerate the fluid")
+	}
+}
+
+func TestShallowSerialFlatRestStaysAtRest(t *testing.T) {
+	s := NewShallowState(8,
+		func(x, y float64) float64 { return 2 },
+		func(x, y float64) float64 { return 0 },
+		func(x, y float64) float64 { return 0 },
+	)
+	out := ShallowSerial(s, DefaultShallowParams)
+	for i := range out.H {
+		for j := range out.H[i] {
+			if out.H[i][j] != 2 || out.U[i][j] != 0 || out.V[i][j] != 0 {
+				t.Fatalf("rest state disturbed at (%d,%d): %v %v %v",
+					i, j, out.H[i][j], out.U[i][j], out.V[i][j])
+			}
+		}
+	}
+}
+
+func TestShallowMachineMatchesSerial(t *testing.T) {
+	s := gaussianBump(12)
+	p := DefaultShallowParams
+	p.Steps = 5
+	want := ShallowSerial(s, p)
+	for _, pes := range []int{1, 4, 8} {
+		m, lay := NewShallowMachine(smallCfg(), pes, s, p, DefaultShallowCost)
+		m.MustRun(5_000_000_000)
+		got := lay.Result(m)
+		for i := 0; i < 12; i++ {
+			for j := 0; j < 12; j++ {
+				if math.Abs(got.H[i][j]-want.H[i][j]) > 1e-12 ||
+					math.Abs(got.U[i][j]-want.U[i][j]) > 1e-12 ||
+					math.Abs(got.V[i][j]-want.V[i][j]) > 1e-12 {
+					t.Fatalf("p=%d: state differs at (%d,%d)", pes, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestShallowMachineConservesMass(t *testing.T) {
+	s := gaussianBump(12)
+	p := DefaultShallowParams
+	p.Steps = 8
+	m, lay := NewShallowMachine(smallCfg(), 8, s, p, DefaultShallowCost)
+	m.MustRun(5_000_000_000)
+	out := lay.Result(m)
+	if math.Abs(out.Mass()-s.Mass()) > 1e-9*s.Mass() {
+		t.Fatalf("machine run drifted mass: %v -> %v", s.Mass(), out.Mass())
+	}
+}

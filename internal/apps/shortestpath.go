@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"ultracomputer/internal/coord"
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/msg"
+	"ultracomputer/internal/pe"
+)
+
+// Parallel single-source shortest paths — the problem whose cited
+// analysis (Deo, Pang & Lord) motivates the appendix: "regardless of the
+// number of processors used... a constant upper bound on its speedup,
+// because every processor demands private use of the Q". Here the Q is
+// the appendix's completely parallel fetch-and-add queue, vertex labels
+// are relaxed atomically with fetch-and-min, and termination uses the
+// decentralized scheduler's outstanding-work counter — no processor ever
+// has private use of anything.
+//
+// The algorithm is label-correcting (parallel Bellman–Ford–Moore): a
+// worker claims a vertex from the workpile, reads its label, and relaxes
+// every outgoing edge with FetchMin; an improvement requeues the target
+// (deduplicated with a fetch-and-or in-queue flag). Stale labels are
+// harmless — any later improvement requeues the vertex.
+
+// Graph is a directed graph with non-negative integer edge weights.
+type Graph struct {
+	N     int
+	Edges [][]Edge // adjacency: Edges[v] are v's outgoing edges
+}
+
+// Edge is one directed edge.
+type Edge struct {
+	To     int
+	Weight int64
+}
+
+// Infinity is the unreached-vertex label.
+const Infinity = int64(1) << 60
+
+// ShortestPathSerial is the reference: Bellman–Ford–Moore with a FIFO
+// queue.
+func ShortestPathSerial(g Graph, source int) []int64 {
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[source] = 0
+	queue := []int{source}
+	inQ := make([]bool, g.N)
+	inQ[source] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQ[v] = false
+		for _, e := range g.Edges[v] {
+			if nd := dist[v] + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				if !inQ[e.To] {
+					inQ[e.To] = true
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// SSSPCost tunes the per-edge charge.
+type SSSPCost struct {
+	PrivatePerEdge int
+	ComputePerEdge int
+}
+
+// DefaultSSSPCost is a plausible relaxation budget.
+var DefaultSSSPCost = SSSPCost{PrivatePerEdge: 2, ComputePerEdge: 4}
+
+// SSSPLayout is the shared-memory layout.
+type SSSPLayout struct {
+	G        Graph
+	P        int
+	dist     Vector // per-vertex label
+	inQ      Vector // per-vertex in-queue flag
+	sched    int64  // scheduler base
+	schedCap int
+	ready    int64 // startup flag: the workpile has been seeded
+}
+
+// NewSSSPMachine builds a machine whose p PEs solve single-source
+// shortest paths from source on g.
+func NewSSSPMachine(cfg machine.Config, p int, g Graph, source int, cost SSSPCost) (*machine.Machine, *SSSPLayout) {
+	ar := NewArena(0)
+	lay := &SSSPLayout{G: g, P: p}
+	lay.dist = Vector{Base: ar.Alloc(int64(g.N)), N: g.N}
+	lay.inQ = Vector{Base: ar.Alloc(int64(g.N)), N: g.N}
+	lay.schedCap = g.N + 8
+	lay.sched = ar.Alloc(coord.SchedulerCells(lay.schedCap))
+	lay.ready = ar.Alloc(1)
+
+	m := machine.SPMD(cfg, p, ssspProgram(lay, source, cost))
+	for v := 0; v < g.N; v++ {
+		m.WriteShared(lay.dist.At(v), Infinity)
+	}
+	m.WriteShared(lay.dist.At(source), 0)
+	return m, lay
+}
+
+// Result reads the labels after the run.
+func (l *SSSPLayout) Result(m *machine.Machine) []int64 {
+	out := make([]int64, l.G.N)
+	for v := range out {
+		out[v] = m.ReadShared(l.dist.At(v))
+	}
+	return out
+}
+
+func ssspProgram(l *SSSPLayout, source int, cost SSSPCost) pe.Program {
+	return func(ctx *pe.Ctx) {
+		s := coord.AttachScheduler(ctx, l.sched, l.schedCap)
+		if ctx.PE() == 0 {
+			// Seed the workpile. The in-queue flag mirrors queue
+			// membership, deduplicating resubmissions.
+			ctx.FetchOp(msg.FetchOr, l.inQ.At(source), 1)
+			s.Submit(int64(source))
+			ctx.Fence()
+			ctx.Store(l.ready, 1)
+		}
+		// Workers must not poll the scheduler before the seed lands, or
+		// they would observe "no outstanding work" and exit.
+		for ctx.Load(l.ready) == 0 {
+			ctx.Pause()
+		}
+		for {
+			task, ok := s.Next()
+			if !ok {
+				return
+			}
+			v := int(task)
+			// Clear the flag before reading the label, so improvements
+			// racing with this pass requeue the vertex.
+			ctx.Store(l.inQ.At(v), 0)
+			ctx.Fence()
+			dv := ctx.Load(l.dist.At(v))
+			for _, e := range l.G.Edges[v] {
+				ctx.Private(cost.PrivatePerEdge)
+				ctx.Compute(cost.ComputePerEdge)
+				nd := dv + e.Weight
+				old := ctx.FetchOp(msg.FetchMin, l.dist.At(e.To), nd)
+				if nd < old {
+					// Improved: requeue unless already queued.
+					if ctx.FetchOp(msg.FetchOr, l.inQ.At(e.To), 1) == 0 {
+						s.Submit(int64(e.To))
+					}
+				}
+			}
+			s.Finish()
+		}
+	}
+}

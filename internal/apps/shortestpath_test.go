@@ -1,0 +1,91 @@
+package apps
+
+import (
+	"testing"
+
+	"ultracomputer/internal/sim"
+)
+
+// randGraph builds a random directed graph with out-degree ~deg.
+func randGraph(n, deg int, seed uint64) Graph {
+	r := sim.NewRand(seed)
+	g := Graph{N: n, Edges: make([][]Edge, n)}
+	for v := 0; v < n; v++ {
+		for d := 0; d < deg; d++ {
+			g.Edges[v] = append(g.Edges[v], Edge{
+				To:     r.Intn(n),
+				Weight: int64(r.Intn(20) + 1),
+			})
+		}
+	}
+	return g
+}
+
+// lineGraph is a path 0 -> 1 -> ... -> n-1 with unit weights.
+func lineGraph(n int) Graph {
+	g := Graph{N: n, Edges: make([][]Edge, n)}
+	for v := 0; v+1 < n; v++ {
+		g.Edges[v] = append(g.Edges[v], Edge{To: v + 1, Weight: 1})
+	}
+	return g
+}
+
+func TestShortestPathSerialLine(t *testing.T) {
+	dist := ShortestPathSerial(lineGraph(6), 0)
+	for v, d := range dist {
+		if d != int64(v) {
+			t.Fatalf("dist[%d] = %d, want %d", v, d, v)
+		}
+	}
+}
+
+func TestShortestPathSerialDisconnected(t *testing.T) {
+	g := Graph{N: 4, Edges: make([][]Edge, 4)}
+	g.Edges[0] = []Edge{{To: 1, Weight: 5}}
+	dist := ShortestPathSerial(g, 0)
+	if dist[0] != 0 || dist[1] != 5 {
+		t.Fatalf("dist = %v", dist)
+	}
+	if dist[2] != Infinity || dist[3] != Infinity {
+		t.Fatal("unreachable vertices must stay at Infinity")
+	}
+}
+
+// TestSSSPMachineMatchesSerial runs the parallel label-correcting solver
+// on the simulated machine over several graphs and PE counts.
+func TestSSSPMachineMatchesSerial(t *testing.T) {
+	graphs := []Graph{
+		lineGraph(12),
+		randGraph(24, 3, 5),
+		randGraph(40, 4, 9),
+	}
+	for gi, g := range graphs {
+		want := ShortestPathSerial(g, 0)
+		for _, p := range []int{1, 4, 8} {
+			m, lay := NewSSSPMachine(smallCfg(), p, g, 0, DefaultSSSPCost)
+			m.MustRun(2_000_000_000)
+			got := lay.Result(m)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("graph %d p=%d: dist[%d] = %d, want %d",
+						gi, p, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestSSSPSpeedup refutes the constant-speedup claim: with the
+// completely parallel queue, more PEs means less time on a graph with
+// enough frontier parallelism.
+func TestSSSPSpeedup(t *testing.T) {
+	g := randGraph(64, 4, 3)
+	time := func(p int) int64 {
+		m, _ := NewSSSPMachine(smallCfg(), p, g, 0, DefaultSSSPCost)
+		return m.MustRun(5_000_000_000)
+	}
+	t1, t8 := time(1), time(8)
+	if float64(t8) > 0.6*float64(t1) {
+		t.Fatalf("8 PEs took %d vs %d serial; queue serialized", t8, t1)
+	}
+}

@@ -1,0 +1,265 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/pe"
+)
+
+// TRED2 (§5.0): reduction of a real symmetric matrix to tridiagonal form
+// by Householder's method, the EISPACK routine the paper parallelized.
+//
+// The parallel version follows the paper's program structure: rows are
+// distributed cyclically and live in each PE's private (cached) memory
+// for the whole run; each elimination step exchanges only the Householder
+// vector v, the product vector p and two scalar reductions through
+// central memory, so roughly one data reference in five is shared — the
+// mix Table 1 reports for this program. Synchronization is entirely
+// fetch-and-add: barriers and reductions, no critical sections.
+
+// Tred2Serial reduces symmetric a (which it leaves untouched) and returns
+// the diagonal d and subdiagonal e (e[0] = 0) of the tridiagonal result.
+func Tred2Serial(a [][]float64) (d, e []float64) {
+	n := len(a)
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = append([]float64(nil), a[i]...)
+		if len(a[i]) != n {
+			panic("apps: Tred2Serial needs a square matrix")
+		}
+	}
+	v := make([]float64, n)
+	p := make([]float64, n)
+	for k := 0; k+2 < n; k++ {
+		// Householder vector zeroing column k below row k+1.
+		var norm2 float64
+		for j := k + 1; j < n; j++ {
+			norm2 += w[j][k] * w[j][k]
+		}
+		if norm2 == 0 {
+			continue
+		}
+		x0 := w[k+1][k]
+		alpha := -signOf(x0) * math.Sqrt(norm2)
+		h := norm2 - alpha*x0 // vᵀx; H = I − vvᵀ/h
+		for j := 0; j <= k; j++ {
+			v[j] = 0
+		}
+		v[k+1] = x0 - alpha
+		for j := k + 2; j < n; j++ {
+			v[j] = w[j][k]
+		}
+		// p = A·v/h, K = vᵀp/(2h), then the rank-2 update
+		// A ← A − v·wᵀ − w·vᵀ with w = p − K·v.
+		var K float64
+		for i := k; i < n; i++ {
+			s := 0.0
+			for j := k + 1; j < n; j++ {
+				s += w[i][j] * v[j]
+			}
+			p[i] = s / h
+			K += v[i] * p[i]
+		}
+		K /= 2 * h
+		for i := k; i < n; i++ {
+			wi := p[i] - K*v[i]
+			for j := k; j < n; j++ {
+				w[i][j] -= v[i]*(p[j]-K*v[j]) + wi*v[j]
+			}
+		}
+	}
+	d = make([]float64, n)
+	e = make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = w[i][i]
+		if i > 0 {
+			e[i] = w[i][i-1]
+		}
+	}
+	return d, e
+}
+
+func signOf(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Tred2Layout is the shared-memory layout of a parallel TRED2 run.
+type Tred2Layout struct {
+	N, P    int
+	A       Matrix // input matrix; holds the tridiagonal result after the run
+	V, Pvec Vector // published column and product vector, per step
+	norm, k *Reducer
+}
+
+// Tred2Cost tunes the per-element charges, representing the
+// register-heavy compiled code of the paper's CDC 6600-type PEs:
+// arithmetic loops cost FlopPrivate private references and FlopCompute
+// register instructions per element, pure data movement costs
+// MovePrivate per element.
+type Tred2Cost struct {
+	FlopPrivate int
+	FlopCompute int
+	MovePrivate int
+}
+
+// DefaultTred2Cost matches the paper's measured mix (~0.25 data refs and
+// ~0.05 shared refs per instruction at N=64, P=16): an inner-loop
+// element costs a multiply-add pair with its addressing and register
+// traffic — generous by modern standards, period-appropriate for a CDC
+// 6600-class scalar pipeline.
+var DefaultTred2Cost = Tred2Cost{FlopPrivate: 4, FlopCompute: 12, MovePrivate: 1}
+
+// NewTred2Machine builds a machine whose p PEs tridiagonalize the
+// symmetric matrix a. Read the result with (d, e) = layout.Result(m)
+// after m.MustRun.
+func NewTred2Machine(cfg machine.Config, p int, a [][]float64, cost Tred2Cost) (*machine.Machine, *Tred2Layout) {
+	n := len(a)
+	if n < 3 {
+		panic(fmt.Sprintf("apps: TRED2 needs n >= 3, got %d", n))
+	}
+	ar := NewArena(0)
+	lay := &Tred2Layout{N: n, P: p}
+	lay.A = Matrix{Base: ar.Alloc(int64(n * n)), N: n}
+	lay.V = Vector{Base: ar.Alloc(int64(n)), N: n}
+	lay.Pvec = Vector{Base: ar.Alloc(int64(n)), N: n}
+	// Two reducers per step (norm² and K); each has barrier semantics,
+	// so no separate barriers are needed anywhere in the program.
+	lay.norm = NewReducer(ar, p)
+	lay.k = NewReducer(ar, p)
+
+	m := machine.SPMD(cfg, p, tred2Program(lay, cost))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.WriteSharedF(lay.A.At(i, j), a[i][j])
+		}
+	}
+	// Barrier cells must start zeroed; WriteShared defaults suffice.
+	return m, lay
+}
+
+// Result extracts the tridiagonal (d, e) after the machine has run.
+func (l *Tred2Layout) Result(m *machine.Machine) (d, e []float64) {
+	d = make([]float64, l.N)
+	e = make([]float64, l.N)
+	for i := 0; i < l.N; i++ {
+		d[i] = m.ReadSharedF(l.A.At(i, i))
+		if i > 0 {
+			e[i] = m.ReadSharedF(l.A.At(i, i-1))
+		}
+	}
+	return d, e
+}
+
+// tred2Program is the SPMD body. Row i is owned by PE i mod P and lives
+// in that PE's private memory between the initial load and final
+// write-back (the §3.4 flush discipline).
+func tred2Program(l *Tred2Layout, cost Tred2Cost) pe.Program {
+	return func(ctx *pe.Ctx) {
+		n, p, me := l.N, l.P, ctx.PE()
+		chargeFlops := func(elems int) {
+			if elems > 0 {
+				ctx.Private(elems * cost.FlopPrivate)
+				ctx.Compute(elems * cost.FlopCompute)
+			}
+		}
+		chargeMove := func(elems int) {
+			if elems > 0 {
+				ctx.Private(elems * cost.MovePrivate)
+			}
+		}
+
+		// Load owned rows into private memory (prefetched). No barrier
+		// needed: nothing writes A until the final flush.
+		rows := make(map[int][]float64)
+		for i := me; i < n; i += p {
+			row := make([]float64, n)
+			LoadRowF(ctx, l.A, i, row)
+			chargeMove(n)
+			rows[i] = row
+		}
+		v := make([]float64, n)
+		pv := make([]float64, n)
+
+		for k := 0; k+2 < n; k++ {
+			// Phase A: owners publish their column-k elements (the
+			// column lives distributed in private rows) and accumulate
+			// norm² partials; a fetch-and-add reduction replaces any
+			// serial scan, so no phase has O(n) serial work.
+			var normPartial float64
+			for i := me; i < n; i += p {
+				if i > k {
+					ctx.StoreF(l.V.At(i), rows[i][k])
+					normPartial += rows[i][k] * rows[i][k]
+				}
+			}
+			chargeMove((n - k) / p)
+			norm2 := l.norm.Sum(ctx, normPartial)
+			if norm2 == 0 {
+				// Every PE computed the same norm2: all skip together.
+				continue
+			}
+			// Every PE caches the column (prefetched) and derives the
+			// Householder quantities locally — identical arithmetic on
+			// identical inputs, so no broadcast is needed.
+			PrefetchF(ctx, func(j int) int64 { return l.V.At(k + 1 + j) }, n-k-1, v[k+1:])
+			x0 := v[k+1]
+			alpha := -signOf(x0) * math.Sqrt(norm2)
+			h := norm2 - alpha*x0
+			v[k+1] = x0 - alpha
+			v[k] = 0
+			chargeMove(n - k)
+
+			// Phase B: p[i] = (row_i · v)/h for owned rows; partial K.
+			var kPartial float64
+			for i := me; i < n; i += p {
+				if i < k {
+					continue
+				}
+				row := rows[i]
+				s := 0.0
+				for j := k + 1; j < n; j++ {
+					s += row[j] * v[j]
+				}
+				chargeFlops(n - k - 1)
+				pi := s / h
+				ctx.StoreF(l.Pvec.At(i), pi)
+				kPartial += v[i] * pi
+			}
+			K := l.k.Sum(ctx, kPartial) / (2 * h)
+
+			// Phase C: every PE caches p (prefetched), computes w on
+			// the fly, and updates its owned rows privately.
+			PrefetchF(ctx, func(j int) int64 { return l.Pvec.At(k + j) }, n-k, pv[k:])
+			chargeMove(n - k)
+			for i := me; i < n; i += p {
+				if i < k {
+					continue
+				}
+				row := rows[i]
+				wi := pv[i] - K*v[i]
+				for j := k; j < n; j++ {
+					row[j] -= v[i]*(pv[j]-K*v[j]) + wi*v[j]
+				}
+				chargeFlops(n - k)
+			}
+			// No end-of-step barrier: the next step's first reduction
+			// already orders every cross-PE dependence (V and Pvec are
+			// rewritten only behind it).
+		}
+
+		// Flush owned rows back to central memory (§3.4 flush). The
+		// machine drains all stores before Result is read.
+		for i := me; i < n; i += p {
+			row := rows[i]
+			for j := 0; j < n; j++ {
+				ctx.StoreF(l.A.At(i, j), row[j])
+			}
+			chargeMove(n)
+		}
+	}
+}

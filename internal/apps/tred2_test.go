@@ -1,0 +1,188 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"ultracomputer/internal/eigen"
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/sim"
+)
+
+// randSym builds a random symmetric n×n matrix.
+func randSym(n int, seed uint64) [][]float64 {
+	r := sim.NewRand(seed)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := r.Float64()*2 - 1
+			a[i][j], a[j][i] = v, v
+		}
+	}
+	return a
+}
+
+// invariants of an orthogonal similarity: trace and Frobenius norm.
+func traceOf(a [][]float64) float64 {
+	t := 0.0
+	for i := range a {
+		t += a[i][i]
+	}
+	return t
+}
+
+func frob2(a [][]float64) float64 {
+	s := 0.0
+	for i := range a {
+		for _, v := range a[i] {
+			s += v * v
+		}
+	}
+	return s
+}
+
+func tridiagInvariants(d, e []float64) (tr, fr float64) {
+	for i := range d {
+		tr += d[i]
+		fr += d[i] * d[i]
+		if i > 0 {
+			fr += 2 * e[i] * e[i]
+		}
+	}
+	return tr, fr
+}
+
+func TestTred2SerialKnown3x3(t *testing.T) {
+	// A 3x3 with column [2;1] below the diagonal: after one reflection
+	// e[1] = -|x| = -sqrt(5)... sign convention: alpha = -sign(x0)*norm.
+	a := [][]float64{
+		{4, 2, 1},
+		{2, 5, 3},
+		{1, 3, 6},
+	}
+	d, e := Tred2Serial(a)
+	// Invariants.
+	tr, fr := tridiagInvariants(d, e)
+	if math.Abs(tr-traceOf(a)) > 1e-12 {
+		t.Fatalf("trace %v != %v", tr, traceOf(a))
+	}
+	if math.Abs(fr-frob2(a)) > 1e-12 {
+		t.Fatalf("frobenius %v != %v", fr, frob2(a))
+	}
+	// The first subdiagonal magnitude equals the column norm sqrt(2²+1²).
+	if math.Abs(math.Abs(e[1])-math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("|e[1]| = %v, want sqrt(5)", math.Abs(e[1]))
+	}
+	// d[0] is untouched by the similarity (row/col 0 pivot).
+	if d[0] != 4 {
+		t.Fatalf("d[0] = %v, want 4", d[0])
+	}
+}
+
+func TestTred2SerialInvariantsRandom(t *testing.T) {
+	for _, n := range []int{3, 5, 8, 16, 33} {
+		a := randSym(n, uint64(n))
+		d, e := Tred2Serial(a)
+		tr, fr := tridiagInvariants(d, e)
+		if math.Abs(tr-traceOf(a)) > 1e-9*(1+math.Abs(traceOf(a))) {
+			t.Fatalf("n=%d: trace drift %v vs %v", n, tr, traceOf(a))
+		}
+		if math.Abs(fr-frob2(a)) > 1e-9*(1+frob2(a)) {
+			t.Fatalf("n=%d: frobenius drift %v vs %v", n, fr, frob2(a))
+		}
+	}
+}
+
+func TestTred2SerialAlreadyTridiagonal(t *testing.T) {
+	a := [][]float64{
+		{1, 2, 0, 0},
+		{2, 3, 4, 0},
+		{0, 4, 5, 6},
+		{0, 0, 6, 7},
+	}
+	d, e := Tred2Serial(a)
+	wantD := []float64{1, 3, 5, 7}
+	wantE := []float64{0, 2, 4, 6}
+	for i := range wantD {
+		if math.Abs(d[i]-wantD[i]) > 1e-12 || math.Abs(math.Abs(e[i])-wantE[i]) > 1e-12 {
+			t.Fatalf("d=%v e=%v", d, e)
+		}
+	}
+}
+
+// TestTred2PreservesSpectrum is the strongest validation: the
+// tridiagonal output must have exactly the eigenvalues of the input
+// (TRED2's whole purpose in EISPACK). The dense spectrum comes from the
+// Jacobi method, the tridiagonal one from Sturm bisection — two
+// independent solvers.
+func TestTred2PreservesSpectrum(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 24} {
+		a := randSym(n, uint64(n)+77)
+		d, e := Tred2Serial(a)
+		dense := eigen.Jacobi(a)
+		tri := eigen.Tridiagonal(d, e)
+		if diff := eigen.MaxDiff(dense, tri); diff > 1e-8 {
+			t.Fatalf("n=%d: spectra differ by %v", n, diff)
+		}
+	}
+}
+
+// TestTred2MachineSpectrum runs the parallel machine version and checks
+// its output spectrum too.
+func TestTred2MachineSpectrum(t *testing.T) {
+	const n = 12
+	a := randSym(n, 123)
+	m, lay := NewTred2Machine(smallCfg(), 8, a, DefaultTred2Cost)
+	m.MustRun(500_000_000)
+	d, e := lay.Result(m)
+	if diff := eigen.MaxDiff(eigen.Jacobi(a), eigen.Tridiagonal(d, e)); diff > 1e-8 {
+		t.Fatalf("machine TRED2 spectrum off by %v", diff)
+	}
+}
+
+func smallCfg() machine.Config {
+	return machine.Config{
+		Net:     network.Config{K: 2, Stages: 4, Combining: true},
+		Hashing: true,
+	}
+}
+
+// TestTred2MachineMatchesSerial runs the parallel version on the
+// simulated Ultracomputer and compares against the serial reference.
+func TestTred2MachineMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{5, 1}, {8, 4}, {12, 8}, {16, 16}} {
+		a := randSym(tc.n, uint64(tc.n*100+tc.p))
+		wantD, wantE := Tred2Serial(a)
+		m, lay := NewTred2Machine(smallCfg(), tc.p, a, DefaultTred2Cost)
+		m.MustRun(200_000_000)
+		d, e := lay.Result(m)
+		for i := 0; i < tc.n; i++ {
+			if math.Abs(d[i]-wantD[i]) > 1e-9 {
+				t.Fatalf("n=%d p=%d: d[%d] = %v, want %v", tc.n, tc.p, i, d[i], wantD[i])
+			}
+			if math.Abs(e[i]-wantE[i]) > 1e-9 {
+				t.Fatalf("n=%d p=%d: e[%d] = %v, want %v", tc.n, tc.p, i, e[i], wantE[i])
+			}
+		}
+	}
+}
+
+// TestTred2Speedup: more PEs must reduce simulated time.
+func TestTred2Speedup(t *testing.T) {
+	a := randSym(16, 7)
+	t1 := tredTime(t, a, 1)
+	t8 := tredTime(t, a, 8)
+	if float64(t8) > 0.5*float64(t1) {
+		t.Fatalf("8 PEs took %d vs %d on 1 PE; speedup < 2", t8, t1)
+	}
+}
+
+func tredTime(t *testing.T, a [][]float64, p int) int64 {
+	t.Helper()
+	m, _ := NewTred2Machine(smallCfg(), p, a, DefaultTred2Cost)
+	return m.MustRun(500_000_000)
+}

@@ -1,0 +1,277 @@
+// Package cache implements the PE-local write-back cache of §3.2/§3.4:
+// set-associative with LRU replacement, per-word dirty bits (only updated
+// words within an evicted block are written back), and the two explicit
+// operations the Ultracomputer adds for software-managed coherence —
+// release (mark entries available without a central-memory update) and
+// flush (force write-back of cached values).
+//
+// The cache is a timing-free functional model; the PE attaches latency to
+// hits, misses and write-back traffic. Addresses are linear shared
+// addresses (the PNI applies module hashing after the cache).
+package cache
+
+import (
+	"fmt"
+
+	"ultracomputer/internal/sim"
+)
+
+// Config sizes the cache.
+type Config struct {
+	// Sets is the number of sets; must be a power of two.
+	Sets int
+	// Ways is the associativity.
+	Ways int
+	// BlockWords is the line size in words; must be a power of two.
+	BlockWords int
+}
+
+// DefaultConfig is a small but realistic shape: 64 sets × 2 ways × 4-word
+// blocks = 512 words.
+var DefaultConfig = Config{Sets: 64, Ways: 2, BlockWords: 4}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Sets < 1 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: Sets = %d, need a power of two", c.Sets)
+	}
+	if c.Ways < 1 {
+		return fmt.Errorf("cache: Ways = %d, need >= 1", c.Ways)
+	}
+	if c.BlockWords < 1 || c.BlockWords&(c.BlockWords-1) != 0 {
+		return fmt.Errorf("cache: BlockWords = %d, need a power of two", c.BlockWords)
+	}
+	return nil
+}
+
+// WriteBack is one dirty word that must be written to central memory.
+type WriteBack struct {
+	Addr  int64
+	Value int64
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       sim.Counter
+	Misses     sim.Counter
+	WriteBacks sim.Counter // words written back
+	Evictions  sim.Counter // lines evicted
+	Releases   sim.Counter // lines released
+	Flushes    sim.Counter // lines flushed
+}
+
+type line struct {
+	valid bool
+	tag   int64
+	words []int64
+	dirty []bool
+	lru   int64
+}
+
+// Cache is one PE's private cache.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	clock int64
+	stats Stats
+}
+
+// New builds a cache; it panics on an invalid configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, sets: make([][]line, cfg.Sets)}
+	for i := range c.sets {
+		ways := make([]line, cfg.Ways)
+		for w := range ways {
+			ways[w].words = make([]int64, cfg.BlockWords)
+			ways[w].dirty = make([]bool, cfg.BlockWords)
+		}
+		c.sets[i] = ways
+	}
+	return c
+}
+
+// Stats exposes the activity counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Config returns the cache shape.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) locate(a int64) (set int, tag int64, off int) {
+	block := a / int64(c.cfg.BlockWords)
+	off = int(a % int64(c.cfg.BlockWords))
+	set = int(block % int64(c.cfg.Sets))
+	tag = block / int64(c.cfg.Sets)
+	return set, tag, off
+}
+
+func (c *Cache) find(set int, tag int64) *line {
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag {
+			return l
+		}
+	}
+	return nil
+}
+
+// Read looks up address a. On a hit it returns the cached value; on a
+// miss the caller must fetch the block (Block(a) identifies it), call
+// Fill, and retry.
+func (c *Cache) Read(a int64) (v int64, hit bool) {
+	set, tag, off := c.locate(a)
+	c.clock++
+	if l := c.find(set, tag); l != nil {
+		l.lru = c.clock
+		c.stats.Hits.Inc()
+		return l.words[off], true
+	}
+	c.stats.Misses.Inc()
+	return 0, false
+}
+
+// Write updates address a in place on a hit (write-back: no central
+// memory traffic, §3.4). On a miss the caller must fetch the block
+// (write-allocate), call Fill, and retry.
+func (c *Cache) Write(a, v int64) (hit bool) {
+	set, tag, off := c.locate(a)
+	c.clock++
+	if l := c.find(set, tag); l != nil {
+		l.lru = c.clock
+		l.words[off] = v
+		l.dirty[off] = true
+		c.stats.Hits.Inc()
+		return true
+	}
+	c.stats.Misses.Inc()
+	return false
+}
+
+// Block reports the first address of the block containing a, the unit of
+// fetch on a miss.
+func (c *Cache) Block(a int64) int64 {
+	return a / int64(c.cfg.BlockWords) * int64(c.cfg.BlockWords)
+}
+
+// BlockWords reports the line size in words.
+func (c *Cache) BlockWords() int { return c.cfg.BlockWords }
+
+// Fill installs the block starting at blockAddr (length BlockWords,
+// fetched from central memory) and returns the dirty words of the line it
+// evicted, which the caller must write to central memory. Cache-generated
+// write-back traffic can always be pipelined (§3.4).
+func (c *Cache) Fill(blockAddr int64, words []int64) []WriteBack {
+	if int(blockAddr)%c.cfg.BlockWords != 0 {
+		panic(fmt.Sprintf("cache: Fill at unaligned address %d", blockAddr))
+	}
+	if len(words) != c.cfg.BlockWords {
+		panic(fmt.Sprintf("cache: Fill with %d words, want %d", len(words), c.cfg.BlockWords))
+	}
+	set, tag, _ := c.locate(blockAddr)
+	c.clock++
+	// Victim: an invalid way if any, else LRU.
+	victim := &c.sets[set][0]
+	for w := range c.sets[set] {
+		l := &c.sets[set][w]
+		if !l.valid {
+			victim = l
+			break
+		}
+		if l.lru < victim.lru {
+			victim = l
+		}
+	}
+	var wbs []WriteBack
+	if victim.valid {
+		wbs = c.evict(victim, set)
+	}
+	victim.valid = true
+	victim.tag = tag
+	victim.lru = c.clock
+	copy(victim.words, words)
+	for i := range victim.dirty {
+		victim.dirty[i] = false
+	}
+	return wbs
+}
+
+// evict collects the dirty words of l and invalidates it.
+func (c *Cache) evict(l *line, set int) []WriteBack {
+	var wbs []WriteBack
+	base := (l.tag*int64(c.cfg.Sets) + int64(set)) * int64(c.cfg.BlockWords)
+	for i, d := range l.dirty {
+		if d {
+			wbs = append(wbs, WriteBack{Addr: base + int64(i), Value: l.words[i]})
+			c.stats.WriteBacks.Inc()
+		}
+	}
+	l.valid = false
+	c.stats.Evictions.Inc()
+	return wbs
+}
+
+// Release marks every cached entry in [lo, hi) available without a
+// central-memory update (§3.4): the data is discarded even if dirty. Used
+// for dead private variables and to end a read-only sharing period.
+func (c *Cache) Release(lo, hi int64) {
+	c.forRange(lo, hi, func(l *line, set int) {
+		l.valid = false
+		c.stats.Releases.Inc()
+	})
+}
+
+// Flush forces a write-back of every dirty cached word in [lo, hi),
+// returning the words to write to central memory. Lines remain valid and
+// clean — used before spawning subtasks that will read the data and
+// before task switches (§3.4).
+func (c *Cache) Flush(lo, hi int64) []WriteBack {
+	var wbs []WriteBack
+	c.forRange(lo, hi, func(l *line, set int) {
+		base := (l.tag*int64(c.cfg.Sets) + int64(set)) * int64(c.cfg.BlockWords)
+		touched := false
+		for i, d := range l.dirty {
+			if d {
+				wbs = append(wbs, WriteBack{Addr: base + int64(i), Value: l.words[i]})
+				l.dirty[i] = false
+				c.stats.WriteBacks.Inc()
+				touched = true
+			}
+		}
+		if touched {
+			c.stats.Flushes.Inc()
+		}
+	})
+	return wbs
+}
+
+// ReleaseAll releases the entire cache.
+func (c *Cache) ReleaseAll() { c.Release(0, 1<<62) }
+
+// FlushAll flushes the entire cache.
+func (c *Cache) FlushAll() []WriteBack { return c.Flush(0, 1<<62) }
+
+// forRange applies fn to every valid line whose block overlaps [lo, hi).
+func (c *Cache) forRange(lo, hi int64, fn func(l *line, set int)) {
+	bw := int64(c.cfg.BlockWords)
+	for set := range c.sets {
+		for w := range c.sets[set] {
+			l := &c.sets[set][w]
+			if !l.valid {
+				continue
+			}
+			base := (l.tag*int64(c.cfg.Sets) + int64(set)) * bw
+			if base+bw > lo && base < hi {
+				fn(l, set)
+			}
+		}
+	}
+}
+
+// Contains reports whether address a currently hits, without touching LRU
+// state or statistics.
+func (c *Cache) Contains(a int64) bool {
+	set, tag, _ := c.locate(a)
+	return c.find(set, tag) != nil
+}

@@ -1,0 +1,156 @@
+// Package coord implements the paper's completely parallel —
+// critical-section-free — coordination algorithms built on fetch-and-add:
+// the bounded concurrent queue of the appendix (with its
+// test-increment-retest / test-decrement-retest guards), barriers,
+// counting semaphores, the readers–writers protocol of §2.3, and a
+// decentralized scheduler.
+//
+// Every algorithm works against the Mem interface, satisfied both by the
+// ideal paracomputer (internal/para.Memory, validated under -race) and by
+// a simulated PE's shared-memory context (internal/pe.Ctx), so the same
+// code is both proven correct under real concurrency and measured for
+// network traffic on the cycle simulator.
+package coord
+
+import "ultracomputer/internal/msg"
+
+// Mem is the shared-memory capability the algorithms need: the
+// paracomputer operations of §2.2–2.4, a busy-wait pause hint, and a
+// store fence. On the ideal paracomputer every operation completes in
+// one cycle and Fence is a no-op; on the simulated machine stores are
+// pipelined (§3.1.4) and Fence drains them before data is announced
+// through a synchronization variable.
+type Mem interface {
+	Load(a int64) int64
+	Store(a, v int64)
+	FetchAdd(a, e int64) int64
+	FetchOp(op msg.Op, a, operand int64) int64
+	Pause()
+	Fence()
+}
+
+// TIR is the appendix's test-increment-retest sequence: atomically
+// reserve delta units of the counter at addr subject to the upper bound.
+// The initial test is not redundant — removing it admits unbounded
+// overshoot races (see the appendix's closing remark).
+func TIR(m Mem, addr, delta, bound int64) bool {
+	if m.Load(addr)+delta > bound {
+		return false
+	}
+	if m.FetchAdd(addr, delta)+delta <= bound {
+		return true
+	}
+	m.FetchAdd(addr, -delta)
+	return false
+}
+
+// TDR is the symmetric test-decrement-retest: atomically release delta
+// units subject to the counter staying non-negative.
+func TDR(m Mem, addr, delta int64) bool {
+	if m.Load(addr)-delta < 0 {
+		return false
+	}
+	if m.FetchAdd(addr, -delta)-delta >= 0 {
+		return true
+	}
+	m.FetchAdd(addr, delta)
+	return false
+}
+
+// Barrier is a reusable fetch-and-add barrier: arrivals increment a
+// counter; the last arrival resets it and advances the generation cell
+// all others spin on. No critical section anywhere.
+type Barrier struct {
+	mem Mem
+	n   int64
+	// layout: base+0 = arrival count, base+1 = generation
+	base int64
+}
+
+// NewBarrier lays a barrier for n participants at base (2 cells).
+func NewBarrier(m Mem, base int64, n int) *Barrier {
+	m.Store(base, 0)
+	m.Store(base+1, 0)
+	return &Barrier{mem: m, n: int64(n), base: base}
+}
+
+// AttachBarrier adopts a barrier whose cells are already zero (fresh
+// shared memory) or were initialized by one PE. Unlike NewBarrier it
+// performs no stores, so every participant may call it concurrently.
+func AttachBarrier(m Mem, base int64, n int) *Barrier {
+	return &Barrier{mem: m, n: int64(n), base: base}
+}
+
+// BarrierCells is the shared-memory footprint of a Barrier.
+const BarrierCells = 2
+
+// Wait blocks until all n participants have arrived. Arrival has release
+// semantics: the PE's pipelined stores are fenced first, so data written
+// before the barrier is visible to every PE released by it.
+func (b *Barrier) Wait() {
+	b.mem.Fence()
+	gen := b.mem.Load(b.base + 1)
+	if b.mem.FetchAdd(b.base, 1) == b.n-1 {
+		b.mem.Store(b.base, 0)
+		b.mem.FetchAdd(b.base+1, 1)
+		return
+	}
+	for b.mem.Load(b.base+1) == gen {
+		b.mem.Pause()
+	}
+}
+
+// Semaphore is a counting semaphore whose P uses TDR so that a failed
+// acquire never leaves the counter perturbed.
+type Semaphore struct {
+	mem  Mem
+	addr int64
+}
+
+// NewSemaphore initializes a semaphore at addr with the given count.
+func NewSemaphore(m Mem, addr int64, count int64) *Semaphore {
+	m.Store(addr, count)
+	return &Semaphore{mem: m, addr: addr}
+}
+
+// AttachSemaphore adopts a semaphore another PE initialized (or one with
+// count zero in fresh memory) without storing.
+func AttachSemaphore(m Mem, addr int64) *Semaphore {
+	return &Semaphore{mem: m, addr: addr}
+}
+
+// TryP attempts to acquire one unit without blocking.
+func (s *Semaphore) TryP() bool { return TDR(s.mem, s.addr, 1) }
+
+// P acquires one unit, spinning until available.
+func (s *Semaphore) P() {
+	for !s.TryP() {
+		s.mem.Pause()
+	}
+}
+
+// V releases one unit.
+func (s *Semaphore) V() { s.mem.FetchAdd(s.addr, 1) }
+
+// SpinLock is the test-and-set lock the paper's algorithms avoid; it is
+// provided as the serial baseline the benchmarks compare against.
+type SpinLock struct {
+	mem  Mem
+	addr int64
+}
+
+// NewSpinLock initializes a lock at addr.
+func NewSpinLock(m Mem, addr int64) *SpinLock {
+	m.Store(addr, 0)
+	return &SpinLock{mem: m, addr: addr}
+}
+
+// Lock acquires with test-and-set (fetch-and-or of 1).
+func (l *SpinLock) Lock() {
+	for l.mem.FetchOp(msg.FetchOr, l.addr, 1)&1 != 0 {
+		l.mem.Pause()
+	}
+}
+
+// Unlock releases.
+func (l *SpinLock) Unlock() { l.mem.Store(l.addr, 0) }

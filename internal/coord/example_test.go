@@ -1,0 +1,63 @@
+package coord_test
+
+import (
+	"fmt"
+
+	"ultracomputer/internal/coord"
+	"ultracomputer/internal/para"
+)
+
+// The appendix's bounded queue used sequentially: inserts and deletes
+// are FIFO; overflow and underflow are reported, not blocking.
+func ExampleQueue() {
+	mem := para.NewMemory()
+	q := coord.NewQueue(mem, 0, 3)
+	for _, v := range []int64{10, 20, 30} {
+		q.Insert(v)
+	}
+	if !q.TryInsert(40) {
+		fmt.Println("QueueOverflow")
+	}
+	for i := 0; i < 3; i++ {
+		fmt.Println(q.Delete())
+	}
+	if _, ok := q.TryDelete(); !ok {
+		fmt.Println("QueueUnderflow")
+	}
+	// Output:
+	// QueueOverflow
+	// 10
+	// 20
+	// 30
+	// QueueUnderflow
+}
+
+// TIR reserves bounded resources without critical sections: the failed
+// attempt leaves the counter untouched.
+func ExampleTIR() {
+	mem := para.NewMemory()
+	const bound = 2
+	for i := 0; i < 3; i++ {
+		fmt.Println(coord.TIR(mem, 0, 1, bound))
+	}
+	fmt.Println("counter:", mem.Load(0))
+	// Output:
+	// true
+	// true
+	// false
+	// counter: 2
+}
+
+// A semaphore built on TDR: V restores what P consumed.
+func ExampleSemaphore() {
+	mem := para.NewMemory()
+	s := coord.NewSemaphore(mem, 0, 1)
+	fmt.Println(s.TryP())
+	fmt.Println(s.TryP())
+	s.V()
+	fmt.Println(s.TryP())
+	// Output:
+	// true
+	// false
+	// true
+}

@@ -1,0 +1,187 @@
+package coord_test
+
+// Integration tests running the coordination algorithms on the simulated
+// Ultracomputer (the same code the para-based tests validate under
+// -race), so every primitive is exercised against the real combining
+// network, pipelined stores and fences included.
+
+import (
+	"testing"
+
+	"ultracomputer/internal/coord"
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/msg"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/pe"
+)
+
+func cfg() machine.Config {
+	return machine.Config{
+		Net:     network.Config{K: 2, Stages: 4, Combining: true},
+		Hashing: true,
+	}
+}
+
+func TestQueueOnMachine(t *testing.T) {
+	const (
+		qBase, qCap = int64(0), 8
+		sumCell     = int64(900)
+		pes         = 8
+		perProducer = 10
+	)
+	m := machine.SPMD(cfg(), pes, func(ctx *pe.Ctx) {
+		q := coord.AttachQueue(ctx, qBase, qCap)
+		if ctx.PE() < pes/2 {
+			for i := 0; i < perProducer; i++ {
+				q.Insert(int64(ctx.PE()*1000 + i + 1))
+			}
+			return
+		}
+		for i := 0; i < perProducer; i++ {
+			ctx.FetchAdd(sumCell, q.Delete())
+		}
+	})
+	m.MustRun(100_000_000)
+	var want int64
+	for p := 0; p < pes/2; p++ {
+		for i := 0; i < perProducer; i++ {
+			want += int64(p*1000 + i + 1)
+		}
+	}
+	if got := m.ReadShared(sumCell); got != want {
+		t.Fatalf("checksum = %d, want %d", got, want)
+	}
+}
+
+func TestBarrierOnMachine(t *testing.T) {
+	const (
+		barBase = int64(0)
+		cells   = int64(100) // phase counters
+		pes     = 8
+		rounds  = 5
+	)
+	m := machine.SPMD(cfg(), pes, func(ctx *pe.Ctx) {
+		b := coord.AttachBarrier(ctx, barBase, pes)
+		for r := 0; r < rounds; r++ {
+			// Check everyone finished the previous round.
+			if r > 0 && ctx.Load(cells+int64(r-1)) != pes {
+				ctx.Store(999, 1) // error flag
+			}
+			ctx.FetchAdd(cells+int64(r), 1)
+			b.Wait()
+		}
+	})
+	m.MustRun(100_000_000)
+	if m.ReadShared(999) != 0 {
+		t.Fatal("a PE entered a round before the previous one completed")
+	}
+	for r := int64(0); r < rounds; r++ {
+		if got := m.ReadShared(cells + r); got != pes {
+			t.Fatalf("round %d arrivals = %d, want %d", r, got, pes)
+		}
+	}
+}
+
+func TestRWLockOnMachine(t *testing.T) {
+	const (
+		lockBase = int64(0)
+		shared   = int64(100) // protected pair of cells (must stay equal)
+		errFlag  = int64(200)
+		pes      = 6
+	)
+	m := machine.SPMD(cfg(), pes, func(ctx *pe.Ctx) {
+		l := coord.AttachRWLock(ctx, lockBase)
+		if ctx.PE() < 4 { // readers
+			for i := 0; i < 10; i++ {
+				l.RLock()
+				a := ctx.Load(shared)
+				b := ctx.Load(shared + 1)
+				if a != b {
+					ctx.Store(errFlag, 1)
+				}
+				l.RUnlock()
+			}
+			return
+		}
+		for i := 0; i < 6; i++ { // writers
+			l.Lock()
+			v := ctx.Load(shared)
+			ctx.Store(shared, v+1)
+			ctx.Fence()
+			ctx.Store(shared+1, v+1)
+			ctx.Fence()
+			l.Unlock()
+		}
+	})
+	m.MustRun(200_000_000)
+	if m.ReadShared(errFlag) != 0 {
+		t.Fatal("a reader observed a torn write")
+	}
+	if got := m.ReadShared(shared); got != 12 {
+		t.Fatalf("writer count = %d, want 12", got)
+	}
+}
+
+func TestSemaphoreOnMachine(t *testing.T) {
+	const (
+		semCell = int64(0)
+		inside  = int64(10)
+		worst   = int64(11)
+		pes     = 8
+		permits = 2
+	)
+	m := machine.SPMD(cfg(), pes, func(ctx *pe.Ctx) {
+		s := coord.AttachSemaphore(ctx, semCell)
+		if ctx.PE() == 0 {
+			// One PE initializes; the others' P() simply spins on the
+			// zero count until the permits arrive.
+			ctx.Store(semCell, permits)
+		}
+		for i := 0; i < 5; i++ {
+			s.P()
+			n := ctx.FetchAdd(inside, 1) + 1
+			ctx.FetchOp(msg.FetchMax, worst, n)
+			ctx.FetchAdd(inside, -1)
+			s.V()
+		}
+	})
+	m.MustRun(200_000_000)
+	if got := m.ReadShared(worst); got > permits {
+		t.Fatalf("observed %d holders, semaphore allows %d", got, permits)
+	}
+	if got := m.ReadShared(semCell); got != permits {
+		t.Fatalf("final count = %d, want %d", got, permits)
+	}
+}
+
+func TestSchedulerOnMachine(t *testing.T) {
+	const (
+		schedBase = int64(0)
+		doneCell  = int64(800)
+		pes       = 8
+		tasks     = 24
+	)
+	m := machine.SPMD(cfg(), pes, func(ctx *pe.Ctx) {
+		s := coord.AttachScheduler(ctx, schedBase, 32)
+		if ctx.PE() == 0 {
+			for i := 0; i < tasks; i++ {
+				s.Submit(int64(i + 1))
+			}
+		}
+		for {
+			task, ok := s.Next()
+			if !ok {
+				return
+			}
+			ctx.FetchAdd(doneCell, task)
+			s.Finish()
+		}
+	})
+	m.MustRun(200_000_000)
+	if got := m.ReadShared(doneCell); got != tasks*(tasks+1)/2 {
+		t.Fatalf("task checksum = %d, want %d", got, tasks*(tasks+1)/2)
+	}
+	if got := m.ReadShared(schedBase); got != 0 {
+		t.Fatalf("outstanding = %d after join", got)
+	}
+}

@@ -1,0 +1,62 @@
+package coord
+
+// Scheduler is the totally decentralized operating-system scheduler
+// sketch of §2.3: a shared ready-queue of task identifiers managed with
+// the completely parallel Queue, plus an outstanding-work counter so
+// idle workers can distinguish "momentarily empty" from "all work done".
+// Any PE may submit work; no PE is special.
+//
+// Shared-memory layout at base:
+//
+//	base+0              active — submitted but unfinished tasks
+//	base+1 ...          the ready Queue (QueueCells(capacity) cells)
+type Scheduler struct {
+	mem   Mem
+	base  int64
+	queue *Queue
+}
+
+// SchedulerCells reports the shared-memory footprint for the given ready
+// queue capacity.
+func SchedulerCells(capacity int) int64 { return 1 + QueueCells(capacity) }
+
+// NewScheduler lays out a scheduler at base with the given ready-queue
+// capacity.
+func NewScheduler(m Mem, base int64, capacity int) *Scheduler {
+	m.Store(base, 0)
+	return &Scheduler{mem: m, base: base, queue: NewQueue(m, base+1, capacity)}
+}
+
+// AttachScheduler adopts an already-initialized scheduler at base.
+func AttachScheduler(m Mem, base int64, capacity int) *Scheduler {
+	return &Scheduler{mem: m, base: base, queue: AttachQueue(m, base+1, capacity)}
+}
+
+// Submit makes task runnable. A task may Submit further tasks before
+// calling Finish on itself, so completion detection never races: active
+// only reaches zero when every transitively spawned task has finished.
+func (s *Scheduler) Submit(task int64) {
+	s.mem.FetchAdd(s.base, 1)
+	s.queue.Insert(task)
+}
+
+// Next returns the next runnable task. It reports false only when all
+// submitted work has finished — the worker should then exit. The caller
+// must call Finish(task) after running the task.
+func (s *Scheduler) Next() (int64, bool) {
+	for {
+		if task, ok := s.queue.TryDelete(); ok {
+			return task, true
+		}
+		if s.mem.Load(s.base) == 0 {
+			return 0, false
+		}
+		s.mem.Pause()
+	}
+}
+
+// Finish records the completion of a task obtained from Next.
+func (s *Scheduler) Finish() { s.mem.FetchAdd(s.base, -1) }
+
+// Outstanding reports the number of submitted-but-unfinished tasks.
+func (s *Scheduler) Outstanding() int64 { return s.mem.Load(s.base) }

@@ -1,0 +1,140 @@
+package eigen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"ultracomputer/internal/sim"
+)
+
+func randSym(n int, seed uint64) [][]float64 {
+	r := sim.NewRand(seed)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := r.Float64()*2 - 1
+			a[i][j], a[j][i] = v, v
+		}
+	}
+	return a
+}
+
+func TestJacobiKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	vals := Jacobi([][]float64{{2, 1}, {1, 2}})
+	if math.Abs(vals[0]-1) > 1e-12 || math.Abs(vals[1]-3) > 1e-12 {
+		t.Fatalf("eigenvalues = %v, want [1 3]", vals)
+	}
+}
+
+func TestJacobiDiagonal(t *testing.T) {
+	vals := Jacobi([][]float64{{5, 0, 0}, {0, -2, 0}, {0, 0, 7}})
+	want := []float64{-2, 5, 7}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("eigenvalues = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestJacobiInvariants(t *testing.T) {
+	for _, n := range []int{2, 5, 12, 20} {
+		a := randSym(n, uint64(n))
+		vals := Jacobi(a)
+		var sum, sq float64
+		for _, v := range vals {
+			sum += v
+			sq += v * v
+		}
+		var tr, fr float64
+		for i := range a {
+			tr += a[i][i]
+			for _, v := range a[i] {
+				fr += v * v
+			}
+		}
+		if math.Abs(sum-tr) > 1e-9*(1+math.Abs(tr)) {
+			t.Fatalf("n=%d: eigenvalue sum %v != trace %v", n, sum, tr)
+		}
+		if math.Abs(sq-fr) > 1e-9*(1+fr) {
+			t.Fatalf("n=%d: eigenvalue square sum %v != frobenius %v", n, sq, fr)
+		}
+		if !sort.Float64sAreSorted(vals) {
+			t.Fatalf("n=%d: eigenvalues not sorted", n)
+		}
+	}
+}
+
+func TestTridiagonalKnown(t *testing.T) {
+	// The n-point second-difference matrix (d=2, e=-1) has eigenvalues
+	// 2 - 2cos(kπ/(n+1)).
+	const n = 8
+	d := make([]float64, n)
+	e := make([]float64, n)
+	for i := range d {
+		d[i] = 2
+		if i > 0 {
+			e[i] = -1
+		}
+	}
+	vals := Tridiagonal(d, e)
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(vals[k-1]-want) > 1e-10 {
+			t.Fatalf("lambda_%d = %v, want %v", k, vals[k-1], want)
+		}
+	}
+}
+
+func TestTridiagonalMatchesJacobi(t *testing.T) {
+	// Build a random tridiagonal, expand to dense, compare solvers.
+	r := sim.NewRand(9)
+	const n = 10
+	d := make([]float64, n)
+	e := make([]float64, n)
+	dense := make([][]float64, n)
+	for i := range dense {
+		dense[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		d[i] = r.Float64()*4 - 2
+		dense[i][i] = d[i]
+		if i > 0 {
+			e[i] = r.Float64()*2 - 1
+			dense[i][i-1] = e[i]
+			dense[i-1][i] = e[i]
+		}
+	}
+	if diff := MaxDiff(Tridiagonal(d, e), Jacobi(dense)); diff > 1e-9 {
+		t.Fatalf("solvers disagree by %v", diff)
+	}
+}
+
+func TestSturmCountMonotone(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	e := []float64{0, 0.5, 0.5, 0.5}
+	prev := -1
+	for x := -5.0; x < 10; x += 0.25 {
+		c := sturmCount(d, e, x)
+		if c < prev {
+			t.Fatalf("Sturm count decreased at x=%v", x)
+		}
+		prev = c
+	}
+	if sturmCount(d, e, -100) != 0 || sturmCount(d, e, 100) != 4 {
+		t.Fatal("Sturm count endpoints wrong")
+	}
+}
+
+func TestMaxDiffPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on size mismatch")
+		}
+	}()
+	MaxDiff([]float64{1}, []float64{1, 2})
+}

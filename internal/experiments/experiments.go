@@ -1,0 +1,243 @@
+// Package experiments wires the applications, machine and analytic
+// models into the paper's concrete experiments — Table 1 (network
+// traffic of four scientific programs), Tables 2 and 3 (TRED2
+// efficiencies, measured and projected) and Figure 7 (transit-time
+// curves) — so the command-line tools and the benchmark harness share
+// one implementation.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ultracomputer/internal/analytic"
+	"ultracomputer/internal/apps"
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/sim"
+)
+
+// PaperMachine returns the machine configuration standing in for the
+// paper's §4.2 simulation setup: a six-stage network (the paper models
+// six stages of 4×4 switches for 4096 ports; we keep six stages with 2×2
+// switches, 64 ports, so latency in stages matches while full-machine
+// cycle simulation stays tractable), MM access = PE instruction = 2
+// network cycles, combining on, hashed placement.
+func PaperMachine() machine.Config {
+	return machine.Config{
+		Net:     network.Config{K: 2, Stages: 6, Combining: true},
+		Hashing: true,
+	}
+}
+
+// Table1Row is one program's measurements in Table 1's five columns.
+type Table1Row struct {
+	Name              string
+	PEs               int
+	AvgCMAccess       float64 // PE instruction times
+	IdleFrac          float64
+	IdlePerCMLoad     float64
+	MemRefPerInstr    float64
+	SharedRefPerInstr float64
+}
+
+// Table1Sizes controls the problem sizes (kept moderate so full-machine
+// simulation runs in seconds; the paper's columns are rates and times,
+// which stabilize quickly with size). Each program needs enough parallel
+// slack for its PE count or barrier starvation dominates.
+type Table1Sizes struct {
+	Weather16N, Weather48N, WeatherSteps int
+	TredN                                int
+	PoissonL, PoissonVC                  int
+}
+
+// DefaultTable1Sizes trades runtime for fidelity sensibly; the 48-PE
+// weather grid provides at least one row chunk per PE.
+var DefaultTable1Sizes = Table1Sizes{
+	Weather16N: 34, Weather48N: 98, WeatherSteps: 6,
+	TredN:    64,
+	PoissonL: 6, PoissonVC: 2,
+}
+
+// QuickTable1Sizes runs in a couple of seconds for smoke tests.
+var QuickTable1Sizes = Table1Sizes{
+	Weather16N: 18, Weather48N: 50, WeatherSteps: 3,
+	TredN:    24,
+	PoissonL: 4, PoissonVC: 1,
+}
+
+// Table1 runs the four programs of §4.2 and returns their rows:
+// weather/16, weather/48, TRED2/16, multigrid/16.
+func Table1(sizes Table1Sizes, limit int64) []Table1Row {
+	rows := []Table1Row{
+		Table1Weather(16, sizes),
+		Table1Weather(48, sizes),
+		Table1Tred2(sizes),
+		Table1Poisson(sizes),
+	}
+	_ = limit
+	return rows
+}
+
+// Table1Weather runs one weather-program row (pes must be 16 or 48 to
+// match the paper's rows; any count works).
+func Table1Weather(pes int, sizes Table1Sizes) Table1Row {
+	n := sizes.Weather16N
+	name := "1: weather PDE"
+	if pes > 16 {
+		n = sizes.Weather48N
+		name = "2: weather PDE"
+	}
+	return weatherRow(name, PaperMachine(), pes, n, sizes.WeatherSteps)
+}
+
+// Table1Tred2 runs the TRED2 row.
+func Table1Tred2(sizes Table1Sizes) Table1Row {
+	return tredRow("3: TRED2", PaperMachine(), 16, sizes)
+}
+
+// Table1Poisson runs the multigrid row.
+func Table1Poisson(sizes Table1Sizes) Table1Row {
+	return poissonRow("4: multigrid", PaperMachine(), 16, sizes)
+}
+
+func toRow(name string, pes int, r machine.Report) Table1Row {
+	return Table1Row{
+		Name: name, PEs: pes,
+		AvgCMAccess:       r.AvgCMAccess,
+		IdleFrac:          r.IdleFrac,
+		IdlePerCMLoad:     r.IdlePerCMLoad,
+		MemRefPerInstr:    r.MemRefPerInstr,
+		SharedRefPerInstr: r.SharedRefPerInstr,
+	}
+}
+
+func weatherRow(name string, cfg machine.Config, pes, n, steps int) Table1Row {
+	grid := make([][]float64, n)
+	r := sim.NewRand(11)
+	for i := range grid {
+		grid[i] = make([]float64, n)
+		for j := range grid[i] {
+			grid[i][j] = r.Float64()
+		}
+	}
+	m, _ := apps.NewWeatherMachine(cfg, pes, grid, 0.1, steps, apps.DefaultWeatherCost)
+	m.MustRun(2_000_000_000)
+	return toRow(name, pes, m.Report())
+}
+
+func tredRow(name string, cfg machine.Config, pes int, s Table1Sizes) Table1Row {
+	a := RandSym(s.TredN, 5)
+	m, _ := apps.NewTred2Machine(cfg, pes, a, apps.DefaultTred2Cost)
+	m.MustRun(2_000_000_000)
+	return toRow(name, pes, m.Report())
+}
+
+func poissonRow(name string, cfg machine.Config, pes int, s Table1Sizes) Table1Row {
+	prob := apps.NewPoissonProblem(s.PoissonL, func(x, y float64) float64 {
+		return math.Sin(math.Pi*x) * math.Sin(math.Pi*y)
+	})
+	m, _ := apps.NewPoissonMachine(cfg, pes, prob, s.PoissonVC, apps.DefaultPoissonCost)
+	m.MustRun(2_000_000_000)
+	return toRow(name, pes, m.Report())
+}
+
+// PaperTable1 holds the paper's measured values for comparison printing.
+var PaperTable1 = []Table1Row{
+	{Name: "1: weather PDE", PEs: 16, AvgCMAccess: 8.94, IdleFrac: 0.37, IdlePerCMLoad: 5.3, MemRefPerInstr: 0.21, SharedRefPerInstr: 0.08},
+	{Name: "2: weather PDE", PEs: 48, AvgCMAccess: 8.83, IdleFrac: 0.39, IdlePerCMLoad: 4.5, MemRefPerInstr: 0.19, SharedRefPerInstr: 0.08},
+	{Name: "3: TRED2", PEs: 16, AvgCMAccess: 8.81, IdleFrac: 0.22, IdlePerCMLoad: 4.9, MemRefPerInstr: 0.25, SharedRefPerInstr: 0.05},
+	{Name: "4: multigrid", PEs: 16, AvgCMAccess: 8.85, IdleFrac: 0.19, IdlePerCMLoad: 3.5, MemRefPerInstr: 0.24, SharedRefPerInstr: 0.06},
+}
+
+// FormatTable1 renders measured rows beside the paper's.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %4s | %8s %6s %9s %8s %8s\n",
+		"program", "PEs", "CM-accs", "idle%", "idle/load", "ref/ins", "shrd/ins")
+	for i, r := range rows {
+		fmt.Fprintf(&b, "%-18s %4d | %8.2f %5.0f%% %9.2f %8.2f %8.2f\n",
+			r.Name, r.PEs, r.AvgCMAccess, r.IdleFrac*100, r.IdlePerCMLoad,
+			r.MemRefPerInstr, r.SharedRefPerInstr)
+		if i < len(PaperTable1) {
+			p := PaperTable1[i]
+			fmt.Fprintf(&b, "%-18s %4s | %8.2f %5.0f%% %9.2f %8.2f %8.2f\n",
+				"   (paper)", "", p.AvgCMAccess, p.IdleFrac*100, p.IdlePerCMLoad,
+				p.MemRefPerInstr, p.SharedRefPerInstr)
+		}
+	}
+	return b.String()
+}
+
+// RandSym builds a deterministic random symmetric matrix.
+func RandSym(n int, seed uint64) [][]float64 {
+	r := sim.NewRand(seed)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := r.Float64()*2 - 1
+			a[i][j], a[j][i] = v, v
+		}
+	}
+	return a
+}
+
+// TredGrid are the (P, N) pairs simulated to fit the TRED2 model (§5.0:
+// "we determined the constants experimentally by simulating TRED2 for
+// several (P, N) pairs").
+type TredGrid struct {
+	Ps, Ns []int
+}
+
+// DefaultTredGrid keeps full-machine simulation under a minute.
+var DefaultTredGrid = TredGrid{Ps: []int{1, 2, 4, 8, 16}, Ns: []int{8, 16, 24, 32}}
+
+// MeasureTred2 simulates the grid and returns the samples (T and W in PE
+// instruction times).
+func MeasureTred2(grid TredGrid) []analytic.TREDSample {
+	cfg := PaperMachine()
+	var out []analytic.TREDSample
+	for _, n := range grid.Ns {
+		a := RandSym(n, uint64(n))
+		for _, p := range grid.Ps {
+			m, _ := apps.NewTred2Machine(cfg, p, a, apps.DefaultTred2Cost)
+			total := m.MustRun(10_000_000_000)
+			rep := m.Report()
+			wait := float64(rep.IdleCycles) / float64(p) // mean waiting per PE
+			out = append(out, analytic.TREDSample{
+				P: p, N: n, Total: float64(total), Waiting: wait,
+			})
+		}
+	}
+	return out
+}
+
+// Tables23 fits the model from measurements and evaluates the paper's
+// grids. withWait selects Table 2 (true) or Table 3 (false).
+func Tables23(samples []analytic.TREDSample) (model analytic.TREDModel, table2, table3 [][]float64) {
+	model = analytic.FitTRED(samples)
+	return model, analytic.EfficiencyGrid(model, true), analytic.EfficiencyGrid(model, false)
+}
+
+// FormatEfficiencyGrid renders an efficiency grid beside the paper's.
+func FormatEfficiencyGrid(title string, got [][]float64, paper [][]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%6s |", title, "N\\PE")
+	for _, p := range analytic.TablePs {
+		fmt.Fprintf(&b, "%12d", p)
+	}
+	fmt.Fprintln(&b)
+	for i, n := range analytic.TableNs {
+		fmt.Fprintf(&b, "%6d |", n)
+		for j := range analytic.TablePs {
+			fmt.Fprintf(&b, "  %4.0f%%(%3d%%)", got[i][j], paper[i][j])
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "entries: reproduced%%(paper%%)\n")
+	return b.String()
+}

@@ -1,0 +1,348 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into a Program. Syntax:
+//
+//	; full-line or trailing comment (# also works)
+//	label:
+//	    li   r1, 42
+//	    fli  f0, 1.5
+//	    faa  r2, 0(r3), r1
+//	    beq  r1, r0, done
+//	done:
+//	    halt
+//
+// Integer immediates accept decimal and 0x hex; float immediates require
+// a '.' or exponent. Branch and jump targets are labels, resolved in a
+// second pass.
+func Assemble(src string) (*Program, error) {
+	p := &Program{Labels: map[string]int{}}
+	type patch struct {
+		instr int
+		label string
+		line  int
+	}
+	var patches []patch
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading labels (possibly several).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return nil, asmErr(lineNo, "bad label %q", label)
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, asmErr(lineNo, "duplicate label %q", label)
+			}
+			p.Labels[label] = len(p.Instrs)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		mnemonic, rest, _ := strings.Cut(line, " ")
+		mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+		op, ok := opByName(mnemonic)
+		if !ok {
+			return nil, asmErr(lineNo, "unknown mnemonic %q", mnemonic)
+		}
+		args := splitArgs(rest)
+		in, labelArg, err := encode(op, args)
+		if err != nil {
+			return nil, asmErr(lineNo, "%v", err)
+		}
+		if labelArg != "" {
+			patches = append(patches, patch{len(p.Instrs), labelArg, lineNo})
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	for _, pt := range patches {
+		target, ok := p.Labels[pt.label]
+		if !ok {
+			return nil, asmErr(pt.line, "undefined label %q", pt.label)
+		}
+		p.Instrs[pt.instr].Imm = int64(target)
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error, for tests and embedded
+// programs.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func asmErr(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("asm line %d: %s", line+1, fmt.Sprintf(format, args...))
+}
+
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+func opByName(name string) (Op, bool) {
+	op, ok := nameToOp[name]
+	return op, ok
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if !alpha && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseIntReg(s string) (int, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("expected integer register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func parseFloatReg(s string) (int, error) {
+	if len(s) < 2 || (s[0] != 'f' && s[0] != 'F') {
+		return 0, fmt.Errorf("expected float register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "imm(rN)" or "(rN)".
+func parseMem(s string) (imm int64, reg int, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("expected mem operand imm(reg), got %q", s)
+	}
+	if open > 0 {
+		imm, err = parseImm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	reg, err = parseIntReg(s[open+1 : len(s)-1])
+	return imm, reg, err
+}
+
+// encode builds one Instr from parsed arguments; labelArg is the branch
+// target to patch in pass two, if any.
+func encode(op Op, args []string) (in Instr, labelArg string, err error) {
+	in.Op = op
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	switch op {
+	case NOP, HALT:
+		err = need(0)
+
+	case LI:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseIntReg(args[0]); err == nil {
+				in.Imm, err = parseImm(args[1])
+			}
+		}
+	case FLI:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseFloatReg(args[0]); err == nil {
+				in.FImm, err = strconv.ParseFloat(args[1], 64)
+			}
+		}
+	case MOV:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseIntReg(args[0]); err == nil {
+				in.Rs, err = parseIntReg(args[1])
+			}
+		}
+	case FMOV, FSQRT, FNEG, FABS:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseFloatReg(args[0]); err == nil {
+				in.Rs, err = parseFloatReg(args[1])
+			}
+		}
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, SLT, SLE, SEQ, SNE:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseIntReg(args[0]); err == nil {
+				if in.Rs, err = parseIntReg(args[1]); err == nil {
+					in.Rt, err = parseIntReg(args[2])
+				}
+			}
+		}
+	case ADDI:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseIntReg(args[0]); err == nil {
+				if in.Rs, err = parseIntReg(args[1]); err == nil {
+					in.Imm, err = parseImm(args[2])
+				}
+			}
+		}
+	case FADD, FSUB, FMUL, FDIV:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseFloatReg(args[0]); err == nil {
+				if in.Rs, err = parseFloatReg(args[1]); err == nil {
+					in.Rt, err = parseFloatReg(args[2])
+				}
+			}
+		}
+	case FSLT, FSLE, FSEQ:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseIntReg(args[0]); err == nil {
+				if in.Rs, err = parseFloatReg(args[1]); err == nil {
+					in.Rt, err = parseFloatReg(args[2])
+				}
+			}
+		}
+	case CVTIF:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseFloatReg(args[0]); err == nil {
+				in.Rs, err = parseIntReg(args[1])
+			}
+		}
+	case CVTFI:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseIntReg(args[0]); err == nil {
+				in.Rs, err = parseFloatReg(args[1])
+			}
+		}
+	case BEQ, BNE, BLT, BGE:
+		if err = need(3); err == nil {
+			if in.Rs, err = parseIntReg(args[0]); err == nil {
+				if in.Rt, err = parseIntReg(args[1]); err == nil {
+					labelArg = args[2]
+				}
+			}
+		}
+	case JMP:
+		if err = need(1); err == nil {
+			labelArg = args[0]
+		}
+	case JAL:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseIntReg(args[0]); err == nil {
+				labelArg = args[1]
+			}
+		}
+	case JR:
+		if err = need(1); err == nil {
+			in.Rs, err = parseIntReg(args[0])
+		}
+	case LW, LDS:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseIntReg(args[0]); err == nil {
+				in.Imm, in.Rs, err = parseMem(args[1])
+			}
+		}
+	case SW, STS:
+		if err = need(2); err == nil {
+			if in.Rt, err = parseIntReg(args[0]); err == nil {
+				in.Imm, in.Rs, err = parseMem(args[1])
+			}
+		}
+	case FLDS:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseFloatReg(args[0]); err == nil {
+				in.Imm, in.Rs, err = parseMem(args[1])
+			}
+		}
+	case FSTS:
+		if err = need(2); err == nil {
+			if in.Rt, err = parseFloatReg(args[0]); err == nil {
+				in.Imm, in.Rs, err = parseMem(args[1])
+			}
+		}
+	case FAA, FAO, FAN, FAX, FAI, SWP:
+		if err = need(3); err == nil {
+			if in.Rd, err = parseIntReg(args[0]); err == nil {
+				if in.Imm, in.Rs, err = parseMem(args[1]); err == nil {
+					in.Rt, err = parseIntReg(args[2])
+				}
+			}
+		}
+	case RDPE, RDNP:
+		if err = need(1); err == nil {
+			in.Rd, err = parseIntReg(args[0])
+		}
+	case CLDS:
+		if err = need(2); err == nil {
+			if in.Rd, err = parseIntReg(args[0]); err == nil {
+				in.Imm, in.Rs, err = parseMem(args[1])
+			}
+		}
+	case CSTS:
+		if err = need(2); err == nil {
+			if in.Rt, err = parseIntReg(args[0]); err == nil {
+				in.Imm, in.Rs, err = parseMem(args[1])
+			}
+		}
+	case CFLU, CREL:
+		if err = need(2); err == nil {
+			if in.Rs, err = parseIntReg(args[0]); err == nil {
+				in.Rt, err = parseIntReg(args[1])
+			}
+		}
+	default:
+		err = fmt.Errorf("unhandled opcode %v", op)
+	}
+	return in, labelArg, err
+}

@@ -1,0 +1,175 @@
+package isa
+
+import (
+	"testing"
+
+	"ultracomputer/internal/cache"
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/pe"
+)
+
+func runCached(t *testing.T, src string, pes int, init func(*machine.Machine)) ([]*Core, *machine.Machine) {
+	t.Helper()
+	prog := MustAssemble(src)
+	cores := make([]pe.Core, pes)
+	isaCores := make([]*Core, pes)
+	for i := range cores {
+		isaCores[i] = NewCoreWithCache(prog, 1024, cache.Config{Sets: 4, Ways: 2, BlockWords: 4})
+		cores[i] = isaCores[i]
+	}
+	m := machine.New(machine.Config{
+		Net:     network.Config{K: 2, Stages: 3, Combining: true},
+		Hashing: true,
+		PEs:     pes,
+	}, cores)
+	if init != nil {
+		init(m)
+	}
+	m.MustRun(10_000_000)
+	return isaCores, m
+}
+
+func TestCachedLoadHitAndMiss(t *testing.T) {
+	cores, m := runCached(t, `
+	li   r1, 100
+	clds r2, 0(r1)   ; miss: fetch block 100..103
+	clds r3, 1(r1)   ; hit: same block
+	clds r4, 0(r1)   ; hit
+	halt
+`, 1, func(m *machine.Machine) {
+		m.WriteShared(100, 11)
+		m.WriteShared(101, 22)
+	})
+	c := cores[0]
+	if c.Reg(2) != 11 || c.Reg(3) != 22 || c.Reg(4) != 11 {
+		t.Fatalf("regs = %d, %d, %d; want 11, 22, 11", c.Reg(2), c.Reg(3), c.Reg(4))
+	}
+	st := c.Cache().Stats()
+	// One miss; the faulting instruction re-executes as a hit after the
+	// fill, so three hits total.
+	if st.Misses.Value() != 1 || st.Hits.Value() != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", st.Hits.Value(), st.Misses.Value())
+	}
+	_ = m
+}
+
+func TestCachedStoreWriteBackOnFlush(t *testing.T) {
+	_, m := runCached(t, `
+	li   r1, 200
+	li   r2, 77
+	csts r2, 0(r1)   ; write-allocate miss, then cached write
+	csts r2, 1(r1)   ; hit
+	li   r3, 200
+	li   r4, 208
+	cflu r3, r4      ; write the dirty words back, wait for acks
+	halt
+`, 1, nil)
+	if m.ReadShared(200) != 77 || m.ReadShared(201) != 77 {
+		t.Fatalf("flushed values = %d, %d; want 77, 77",
+			m.ReadShared(200), m.ReadShared(201))
+	}
+}
+
+func TestCachedStoreStaysLocalUntilFlush(t *testing.T) {
+	_, m := runCached(t, `
+	li   r1, 300
+	li   r2, 55
+	csts r2, 0(r1)
+	halt
+`, 1, nil)
+	// Without a flush and without eviction pressure, the dirty word
+	// must not have reached central memory.
+	if m.ReadShared(300) != 0 {
+		t.Fatalf("write-back cache leaked %d to memory", m.ReadShared(300))
+	}
+}
+
+func TestCachedReleaseDiscards(t *testing.T) {
+	cores, m := runCached(t, `
+	li   r1, 400
+	li   r2, 99
+	csts r2, 0(r1)
+	li   r3, 400
+	li   r4, 404
+	crel r3, r4      ; discard without write-back
+	clds r5, 0(r1)   ; re-fetch from central memory: sees the old value
+	halt
+`, 1, func(m *machine.Machine) {
+		m.WriteShared(400, 7)
+	})
+	if got := cores[0].Reg(5); got != 7 {
+		t.Fatalf("post-release reload = %d, want 7 (central memory value)", got)
+	}
+	if m.ReadShared(400) != 7 {
+		t.Fatalf("release leaked: M[400] = %d", m.ReadShared(400))
+	}
+}
+
+// TestCachedFlushPublish follows §3.4 across two PEs in assembly: PE 0
+// computes into its cache, flushes, raises a flag; PE 1 reads uncached.
+func TestCachedFlushPublish(t *testing.T) {
+	_, m := runCached(t, `
+	rdpe r1
+	bne  r1, r0, reader
+	; writer (PE 0)
+	li   r2, 500
+	li   r3, 123
+	csts r3, 0(r2)
+	li   r4, 500
+	li   r5, 504
+	cflu r4, r5
+	li   r6, 600     ; flag
+	li   r7, 1
+	sts  r7, 0(r6)
+	halt
+reader:	li   r6, 600
+spin:	lds  r8, 0(r6)
+	beq  r8, r0, spin
+	li   r2, 500
+	lds  r9, 0(r2)
+	li   r10, 700
+	sts  r9, 0(r10)
+	halt
+`, 2, nil)
+	if got := m.ReadShared(700); got != 123 {
+		t.Fatalf("reader saw %d, want 123 (flush must complete before the flag)", got)
+	}
+}
+
+func TestCachedEvictionWritesBack(t *testing.T) {
+	// 4 sets × 2 ways × 4 words = 32 words; writing 80 words forces
+	// evictions whose dirty words must reach memory without any flush.
+	_, m := runCached(t, `
+	li   r1, 0       ; i
+	li   r2, 80
+loop:	beq  r1, r2, fin
+	addi r3, r1, 1000 ; value = i + 1000
+	csts r3, 0(r1)
+	addi r1, r1, 1
+	jmp  loop
+fin:	li   r4, 0
+	li   r5, 80
+	cflu r4, r5
+	halt
+`, 1, nil)
+	for a := int64(0); a < 80; a++ {
+		if got := m.ReadShared(a); got != a+1000 {
+			t.Fatalf("M[%d] = %d, want %d", a, got, a+1000)
+		}
+	}
+}
+
+func TestCachedOpsWithoutCachePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("clds on cacheless core did not panic")
+		}
+	}()
+	prog := MustAssemble("li r1, 4\nclds r2, 0(r1)\nhalt")
+	core := NewCore(prog, 16)
+	m := machine.New(machine.Config{
+		Net: network.Config{K: 2, Stages: 2, Combining: true}, Hashing: true, PEs: 1,
+	}, []pe.Core{core})
+	m.MustRun(1_000_000)
+}

@@ -1,0 +1,129 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Disassemble renders the program as re-assemblable text: branch targets
+// become generated labels (or the program's own label names when it has
+// them), one instruction per line.
+func (p *Program) Disassemble() string {
+	// Name branch targets: prefer original labels, invent L<pc> others.
+	names := map[int]string{}
+	for name, pc := range p.Labels {
+		if _, taken := names[pc]; !taken || name < names[pc] {
+			names[pc] = name
+		}
+	}
+	for _, in := range p.Instrs {
+		if isBranch(in.Op) {
+			pc := int(in.Imm)
+			if _, ok := names[pc]; !ok {
+				names[pc] = "L" + strconv.Itoa(pc)
+			}
+		}
+	}
+
+	var b strings.Builder
+	for pc, in := range p.Instrs {
+		if lbl, ok := names[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		fmt.Fprintf(&b, "\t%s\n", disasmInstr(in, names))
+	}
+	// Labels at the end of the program (targets one past the last
+	// instruction).
+	var tail []int
+	for pc := range names {
+		if pc >= len(p.Instrs) {
+			tail = append(tail, pc)
+		}
+	}
+	sort.Ints(tail)
+	for _, pc := range tail {
+		fmt.Fprintf(&b, "%s:\n", names[pc])
+	}
+	return b.String()
+}
+
+func isBranch(op Op) bool {
+	switch op {
+	case BEQ, BNE, BLT, BGE, JMP, JAL:
+		return true
+	}
+	return false
+}
+
+// disasmInstr renders one instruction in the assembler's input syntax.
+func disasmInstr(in Instr, names map[int]string) string {
+	r := func(n int) string { return "r" + strconv.Itoa(n) }
+	f := func(n int) string { return "f" + strconv.Itoa(n) }
+	mem := func() string { return fmt.Sprintf("%d(%s)", in.Imm, r(in.Rs)) }
+	lbl := func() string { return names[int(in.Imm)] }
+	op := in.Op.String()
+	switch in.Op {
+	case NOP, HALT:
+		return op
+	case LI:
+		return fmt.Sprintf("%s %s, %d", op, r(in.Rd), in.Imm)
+	case FLI:
+		return fmt.Sprintf("%s %s, %s", op, f(in.Rd), formatFloat(in.FImm))
+	case MOV:
+		return fmt.Sprintf("%s %s, %s", op, r(in.Rd), r(in.Rs))
+	case FMOV, FSQRT, FNEG, FABS:
+		return fmt.Sprintf("%s %s, %s", op, f(in.Rd), f(in.Rs))
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, SLT, SLE, SEQ, SNE:
+		return fmt.Sprintf("%s %s, %s, %s", op, r(in.Rd), r(in.Rs), r(in.Rt))
+	case ADDI:
+		return fmt.Sprintf("%s %s, %s, %d", op, r(in.Rd), r(in.Rs), in.Imm)
+	case FADD, FSUB, FMUL, FDIV:
+		return fmt.Sprintf("%s %s, %s, %s", op, f(in.Rd), f(in.Rs), f(in.Rt))
+	case FSLT, FSLE, FSEQ:
+		return fmt.Sprintf("%s %s, %s, %s", op, r(in.Rd), f(in.Rs), f(in.Rt))
+	case CVTIF:
+		return fmt.Sprintf("%s %s, %s", op, f(in.Rd), r(in.Rs))
+	case CVTFI:
+		return fmt.Sprintf("%s %s, %s", op, r(in.Rd), f(in.Rs))
+	case BEQ, BNE, BLT, BGE:
+		return fmt.Sprintf("%s %s, %s, %s", op, r(in.Rs), r(in.Rt), lbl())
+	case JMP:
+		return fmt.Sprintf("%s %s", op, lbl())
+	case JAL:
+		return fmt.Sprintf("%s %s, %s", op, r(in.Rd), lbl())
+	case JR:
+		return fmt.Sprintf("%s %s", op, r(in.Rs))
+	case LW, LDS:
+		return fmt.Sprintf("%s %s, %s", op, r(in.Rd), mem())
+	case SW, STS:
+		return fmt.Sprintf("%s %s, %s", op, r(in.Rt), mem())
+	case FLDS:
+		return fmt.Sprintf("%s %s, %s", op, f(in.Rd), mem())
+	case FSTS:
+		return fmt.Sprintf("%s %s, %s", op, f(in.Rt), mem())
+	case FAA, FAO, FAN, FAX, FAI, SWP:
+		return fmt.Sprintf("%s %s, %s, %s", op, r(in.Rd), mem(), r(in.Rt))
+	case RDPE, RDNP:
+		return fmt.Sprintf("%s %s", op, r(in.Rd))
+	case CLDS:
+		return fmt.Sprintf("%s %s, %s", op, r(in.Rd), mem())
+	case CSTS:
+		return fmt.Sprintf("%s %s, %s", op, r(in.Rt), mem())
+	case CFLU, CREL:
+		return fmt.Sprintf("%s %s, %s", op, r(in.Rs), r(in.Rt))
+	default:
+		return fmt.Sprintf("; unknown %s", op)
+	}
+}
+
+// formatFloat renders a float immediate so the assembler reparses it as
+// a float (always with a decimal point or exponent).
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}

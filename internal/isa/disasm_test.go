@@ -1,0 +1,97 @@
+package isa
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDisassembleRoundTrip: assembling the disassembly reproduces the
+// instruction stream exactly for every shipped example program.
+func TestDisassembleRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "asm", "*.s"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := Assemble(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		text := p1.Disassemble()
+		p2, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("%s: reassembling disassembly: %v\n%s", file, err, text)
+		}
+		if len(p1.Instrs) != len(p2.Instrs) {
+			t.Fatalf("%s: instruction count %d -> %d", file, len(p1.Instrs), len(p2.Instrs))
+		}
+		for i := range p1.Instrs {
+			if p1.Instrs[i] != p2.Instrs[i] {
+				t.Fatalf("%s: instr %d differs: %v vs %v",
+					file, i, p1.Instrs[i], p2.Instrs[i])
+			}
+		}
+	}
+}
+
+func TestDisassembleAllOpcodeForms(t *testing.T) {
+	src := `
+start:	nop
+	li    r1, -5
+	fli   f1, 2.5
+	fli   f2, 3.0
+	mov   r2, r1
+	add   r3, r1, r2
+	addi  r4, r3, 7
+	fadd  f3, f1, f2
+	fsqrt f4, f3
+	fslt  r5, f1, f2
+	cvtif f5, r1
+	cvtfi r6, f5
+	beq   r1, r2, start
+	jal   r31, sub
+	jmp   end
+sub:	jr    r31
+	lw    r7, 2(r1)
+	sw    r7, 3(r1)
+	lds   r8, 4(r1)
+	sts   r8, 5(r1)
+	flds  f6, 6(r1)
+	fsts  f6, 7(r1)
+	faa   r9, 8(r1), r2
+	swp   r10, 9(r1), r2
+	rdpe  r11
+	rdnp  r12
+end:	halt
+`
+	p1 := MustAssemble(src)
+	p2, err := Assemble(p1.Disassemble())
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, p1.Disassemble())
+	}
+	for i := range p1.Instrs {
+		if p1.Instrs[i] != p2.Instrs[i] {
+			t.Fatalf("instr %d: %v vs %v", i, p1.Instrs[i], p2.Instrs[i])
+		}
+	}
+	// Original labels survive.
+	if !strings.Contains(p1.Disassemble(), "start:") {
+		t.Fatal("original label lost in disassembly")
+	}
+}
+
+func TestFormatFloatReparses(t *testing.T) {
+	for _, v := range []float64{0, 1, -2.5, 1e-9, 12345.6789, 3} {
+		s := formatFloat(v)
+		p := MustAssemble("fli f1, " + s + "\nhalt")
+		if p.Instrs[0].FImm != v {
+			t.Fatalf("%v formatted as %q reparsed to %v", v, s, p.Instrs[0].FImm)
+		}
+	}
+}

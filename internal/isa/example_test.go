@@ -1,0 +1,35 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"ultracomputer/internal/isa"
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/pe"
+)
+
+// Assemble and run a fetch-and-add program on a 4-PE machine: every PE
+// adds its PE number plus one to a shared accumulator.
+func ExampleAssemble() {
+	prog := isa.MustAssemble(`
+		rdpe r1
+		addi r1, r1, 1
+		li   r2, 50
+		faa  r3, 0(r2), r1   ; M[50] += pe+1
+		halt
+	`)
+	cores := make([]pe.Core, 4)
+	for i := range cores {
+		cores[i] = isa.NewCore(prog, 64)
+	}
+	m := machine.New(machine.Config{
+		Net:     network.Config{K: 2, Stages: 2, Combining: true},
+		Hashing: true,
+		PEs:     4,
+	}, cores)
+	m.MustRun(1_000_000)
+	fmt.Println("accumulator:", m.ReadShared(50))
+	// Output:
+	// accumulator: 10
+}

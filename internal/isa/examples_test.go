@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/pe"
+)
+
+// The shipped assembly examples double as integration tests: each is
+// assembled and executed on the simulated machine and its documented
+// result is checked.
+
+func runAsmFile(t *testing.T, name string, pes int) *machine.Machine {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "asm", name))
+	if err != nil {
+		t.Fatalf("reading %s: %v", name, err)
+	}
+	prog, err := Assemble(string(src))
+	if err != nil {
+		t.Fatalf("assembling %s: %v", name, err)
+	}
+	cores := make([]pe.Core, pes)
+	for i := range cores {
+		cores[i] = NewCore(prog, 4096)
+	}
+	cfg := machine.Config{
+		Net:     network.Config{K: 2, Stages: 4, Combining: true},
+		Hashing: true,
+		PEs:     pes,
+	}
+	m := machine.New(cfg, cores)
+	m.MustRun(100_000_000)
+	return m
+}
+
+func TestAsmTickets(t *testing.T) {
+	m := runAsmFile(t, "tickets.s", 8)
+	if got := m.ReadShared(500); got != 8 {
+		t.Fatalf("tickets issued = %d, want 8", got)
+	}
+	seen := make(map[int64]bool)
+	for ticket := int64(0); ticket < 8; ticket++ {
+		pe := m.ReadShared(501 + ticket)
+		if pe < 0 || pe > 7 || seen[pe] {
+			t.Fatalf("ticket %d held by PE %d (dup or out of range)", ticket, pe)
+		}
+		seen[pe] = true
+	}
+}
+
+func TestAsmDotProduct(t *testing.T) {
+	m := runAsmFile(t, "dotproduct.s", 4)
+	if got := m.ReadShared(300); got != 272 {
+		t.Fatalf("dot product = %d, want 272", got)
+	}
+}
+
+func TestAsmQueue(t *testing.T) {
+	const pes = 8
+	m := runAsmFile(t, "queue.s", pes)
+	// Every PE inserted 100+pe and deleted exactly one value.
+	want := int64(100*pes + pes*(pes-1)/2)
+	if got := m.ReadShared(900); got != want {
+		t.Fatalf("tally = %d, want %d", got, want)
+	}
+	// The queue must end empty and balanced.
+	if qu, qi := m.ReadShared(802), m.ReadShared(803); qu != 0 || qi != 0 {
+		t.Fatalf("queue bounds after run: #Qu=%d #Qi=%d, want 0/0", qu, qi)
+	}
+}
+
+func TestAsmBarrier(t *testing.T) {
+	const pes = 8
+	m := runAsmFile(t, "barrier.s", pes)
+	for r := int64(0); r < 3; r++ {
+		if got := m.ReadShared(600 + r); got != pes {
+			t.Fatalf("round %d arrivals = %d, want %d", r, got, pes)
+		}
+	}
+	if got := m.ReadShared(700); got != 0 {
+		t.Fatalf("barrier count = %d after final reset, want 0", got)
+	}
+	if got := m.ReadShared(701); got != 3 {
+		t.Fatalf("generation = %d, want 3", got)
+	}
+}

@@ -1,0 +1,140 @@
+// Package isa defines a small load/store instruction set, an assembler,
+// and an interpreter that plugs into internal/pe as a Core. It plays the
+// role of the paper's instruction-level simulation (§5.0): PEs are
+// register machines in the CDC 6600 mold with the Ultracomputer's two
+// extensions — fetch-and-add instructions on shared memory (§3.5) and
+// register locking, so a PE keeps executing past an outstanding shared
+// load and stalls only when a locked register is consumed.
+//
+// Registers: 32 integer registers r0..r31 (r0 is hardwired zero) and 32
+// float registers f0..f31 (IEEE float64). Local (private) memory is
+// word-addressed and always one cycle — the cache-resident assumption of
+// §4.2. Shared memory is reached through the network with LDS/STS, the
+// fetch-and-phi family (FAA, FAO, FAN, FAX, FAI, SWP) and float
+// LDS/STS variants.
+package isa
+
+import "fmt"
+
+// Op is an opcode.
+type Op uint8
+
+// Opcode space. The comment gives the assembly syntax.
+const (
+	NOP  Op = iota // nop
+	HALT           // halt
+
+	LI   // li rd, imm
+	MOV  // mov rd, rs
+	ADD  // add rd, rs, rt
+	SUB  // sub rd, rs, rt
+	MUL  // mul rd, rs, rt
+	DIV  // div rd, rs, rt   (x/0 = 0)
+	MOD  // mod rd, rs, rt   (x%0 = 0)
+	AND  // and rd, rs, rt
+	OR   // or rd, rs, rt
+	XOR  // xor rd, rs, rt
+	SHL  // shl rd, rs, rt
+	SHR  // shr rd, rs, rt   (arithmetic)
+	ADDI // addi rd, rs, imm
+	SLT  // slt rd, rs, rt   rd = rs < rt
+	SLE  // sle rd, rs, rt
+	SEQ  // seq rd, rs, rt
+	SNE  // sne rd, rs, rt
+
+	FLI   // fli fd, fimm
+	FMOV  // fmov fd, fs
+	FADD  // fadd fd, fs, ft
+	FSUB  // fsub fd, fs, ft
+	FMUL  // fmul fd, fs, ft
+	FDIV  // fdiv fd, fs, ft
+	FSQRT // fsqrt fd, fs
+	FNEG  // fneg fd, fs
+	FABS  // fabs fd, fs
+	FSLT  // fslt rd, fs, ft
+	FSLE  // fsle rd, fs, ft
+	FSEQ  // fseq rd, fs, ft
+	CVTIF // cvtif fd, rs
+	CVTFI // cvtfi rd, fs    (truncates)
+
+	BEQ // beq rs, rt, label
+	BNE // bne rs, rt, label
+	BLT // blt rs, rt, label
+	BGE // bge rs, rt, label
+	JMP // jmp label
+	JAL // jal rd, label     rd = return pc
+	JR  // jr rs
+
+	LW // lw rd, imm(rs)     local memory load
+	SW // sw rt, imm(rs)     local memory store
+
+	LDS  // lds rd, imm(rs)      shared load
+	STS  // sts rt, imm(rs)      shared store
+	FAA  // faa rd, imm(rs), rt  rd = FetchAdd(M[rs+imm], rt)
+	FAO  // fao rd, imm(rs), rt  fetch-and-or
+	FAN  // fan rd, imm(rs), rt  fetch-and-and
+	FAX  // fax rd, imm(rs), rt  fetch-and-max
+	FAI  // fai rd, imm(rs), rt  fetch-and-min
+	SWP  // swp rd, imm(rs), rt  swap
+	FLDS // flds fd, imm(rs)     shared float load
+	FSTS // fsts ft, imm(rs)     shared float store
+
+	RDPE // rdpe rd    rd = this PE's number
+	RDNP // rdnp rd    rd = number of PEs
+
+	// Cached shared-memory access (§3.2/§3.4): the core's write-back
+	// cache satisfies hits locally; misses fetch the block through the
+	// network. CFLU/CREL are the paper's explicit flush and release.
+	CLDS // clds rd, imm(rs)   cached shared load
+	CSTS // csts rt, imm(rs)   cached shared store (write-back)
+	CFLU // cflu rs, rt        flush cached range [rs, rt)
+	CREL // crel rs, rt        release cached range [rs, rt)
+
+	numOps
+)
+
+var opNames = map[Op]string{
+	NOP: "nop", HALT: "halt", LI: "li", MOV: "mov", ADD: "add", SUB: "sub",
+	MUL: "mul", DIV: "div", MOD: "mod", AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHR: "shr", ADDI: "addi", SLT: "slt", SLE: "sle",
+	SEQ: "seq", SNE: "sne", FLI: "fli", FMOV: "fmov", FADD: "fadd",
+	FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FSQRT: "fsqrt", FNEG: "fneg",
+	FABS: "fabs", FSLT: "fslt", FSLE: "fsle", FSEQ: "fseq", CVTIF: "cvtif",
+	CVTFI: "cvtfi", BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge",
+	JMP: "jmp", JAL: "jal", JR: "jr", LW: "lw", SW: "sw", LDS: "lds",
+	STS: "sts", FAA: "faa", FAO: "fao", FAN: "fan", FAX: "fax", FAI: "fai",
+	SWP: "swp", FLDS: "flds", FSTS: "fsts", RDPE: "rdpe", RDNP: "rdnp",
+	CLDS: "clds", CSTS: "csts", CFLU: "cflu", CREL: "crel",
+}
+
+// String names the opcode.
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NumRegs is the size of each register file.
+const NumRegs = 32
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op   Op
+	Rd   int     // destination register (int or float file per Op)
+	Rs   int     // first source
+	Rt   int     // second source
+	Imm  int64   // integer immediate / local or shared offset / branch target
+	FImm float64 // float immediate
+}
+
+// String renders the instruction in assembly-like form.
+func (i Instr) String() string {
+	return fmt.Sprintf("%s rd=%d rs=%d rt=%d imm=%d", i.Op, i.Rd, i.Rs, i.Rt, i.Imm)
+}
+
+// Program is an assembled program.
+type Program struct {
+	Instrs []Instr
+	Labels map[string]int
+}

@@ -1,0 +1,78 @@
+package machine
+
+import (
+	"testing"
+
+	"ultracomputer/internal/pe"
+)
+
+// TestIdealMemoryCorrectness: the paracomputer-timing machine computes
+// the same results as the networked one.
+func TestIdealMemoryCorrectness(t *testing.T) {
+	run := func(ideal bool) [3]int64 {
+		cfg := cfg16()
+		cfg.IdealMemory = ideal
+		m := SPMD(cfg, 16, func(ctx *pe.Ctx) {
+			t := ctx.FetchAdd(0, 1)
+			ctx.Store(100+t, int64(ctx.PE()))
+			ctx.FetchAdd(1, ctx.Load(100+t))
+		})
+		m.MustRun(10_000_000)
+		return [3]int64{m.ReadShared(0), m.ReadShared(1), m.ReadShared(100)}
+	}
+	netRes := run(false)
+	idealRes := run(true)
+	if netRes[0] != 16 || idealRes[0] != 16 {
+		t.Fatalf("counters = %v / %v", netRes, idealRes)
+	}
+	// Sum of PE IDs deposited equals 0+..+15 regardless of order.
+	if netRes[1] != 120 || idealRes[1] != 120 {
+		t.Fatalf("sums = %d / %d, want 120", netRes[1], idealRes[1])
+	}
+}
+
+// TestIdealMemoryIsFaster quantifies the network's cost: the same
+// latency-bound program finishes much sooner on the ideal paracomputer.
+func TestIdealMemoryIsFaster(t *testing.T) {
+	run := func(ideal bool) (int64, float64) {
+		cfg := cfg16()
+		cfg.IdealMemory = ideal
+		m := SPMD(cfg, 8, func(ctx *pe.Ctx) {
+			for i := int64(0); i < 50; i++ {
+				ctx.FetchAdd(i%7, 1)
+			}
+		})
+		c := m.MustRun(10_000_000)
+		return c, m.Report().AvgCMAccess
+	}
+	netCycles, netAccess := run(false)
+	idealCycles, idealAccess := run(true)
+	if idealCycles*3 > netCycles {
+		t.Fatalf("ideal %d vs networked %d cycles; network cost invisible", idealCycles, netCycles)
+	}
+	if idealAccess > 2.5 {
+		t.Fatalf("ideal CM access = %.1f, want ~1 cycle", idealAccess)
+	}
+	if netAccess < 2*idealAccess {
+		t.Fatalf("network access %.1f not clearly above ideal %.1f", netAccess, idealAccess)
+	}
+}
+
+// TestIdealMemorySerialization: concurrent fetch-and-adds still yield
+// distinct tickets (the serialization principle holds by construction).
+func TestIdealMemorySerialization(t *testing.T) {
+	cfg := cfg16()
+	cfg.IdealMemory = true
+	results := make([]int64, 16)
+	m := SPMD(cfg, 16, func(ctx *pe.Ctx) {
+		results[ctx.PE()] = ctx.FetchAdd(7, 1)
+	})
+	m.MustRun(1_000_000)
+	seen := map[int64]bool{}
+	for _, v := range results {
+		if v < 0 || v >= 16 || seen[v] {
+			t.Fatalf("ticket %d duplicated or out of range", v)
+		}
+		seen[v] = true
+	}
+}

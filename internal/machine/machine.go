@@ -1,0 +1,268 @@
+// Package machine assembles the full NYU Ultracomputer (Figure 1): N
+// processing elements connected through the combining Omega network to N
+// memory modules, with the timing ratios of the paper's simulations
+// (§4.2): the PE instruction time and the MM access time both default to
+// twice the network cycle time.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"ultracomputer/internal/memory"
+	"ultracomputer/internal/msg"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/pe"
+)
+
+// Config describes a machine.
+type Config struct {
+	// Net configures the interconnect; the network's port count is the
+	// machine's MM count and the upper bound on PEs.
+	Net network.Config
+	// PEs is the number of processing elements actually populated
+	// (paper §4.2 simulates 16 or 48 PEs against a 4096-port network).
+	// Zero means one PE per port.
+	PEs int
+	// MMLatency is the memory module access time in network cycles
+	// (default 2, §4.2).
+	MMLatency int64
+	// PECycle is the PE instruction time in network cycles (default 2,
+	// §4.2).
+	PECycle int64
+	// Hashing selects the address hasher: true applies the
+	// multiplicative hash of §3.1.4, false the unhashed interleave.
+	Hashing bool
+	// MaxOutstanding bounds each PE's in-flight shared requests
+	// (register locking depth; default 12).
+	MaxOutstanding int
+	// IdealMemory bypasses the network entirely: every shared request
+	// completes on the next PE cycle, which is the paracomputer of
+	// §2.1 with timing — the WASHCLOTH-style ideal the paper's own
+	// simulations used as reference. Comparing a run against the same
+	// run with IdealMemory isolates the cost of the real network.
+	IdealMemory bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MMLatency == 0 {
+		c.MMLatency = 2
+	}
+	if c.PECycle == 0 {
+		c.PECycle = 2
+	}
+	if c.MaxOutstanding == 0 {
+		c.MaxOutstanding = 12
+	}
+	if c.PEs == 0 {
+		c.PEs = c.Net.Ports()
+	}
+	return c
+}
+
+// Machine is one simulated Ultracomputer.
+type Machine struct {
+	cfg  Config
+	net  *network.Network
+	bank *memory.Bank
+	pes  []*pe.PE
+
+	cycle    int64 // network cycles elapsed
+	peCycles int64 // PE cycles elapsed
+
+	// idealPending holds replies generated under IdealMemory during
+	// this cycle, delivered at the start of the next (one-cycle
+	// paracomputer access).
+	idealPending []idealReply
+}
+
+type idealReply struct {
+	pe  int
+	rep msg.Reply
+}
+
+// New builds a machine; cores[i] drives PE i. Pass fewer cores than
+// Config.PEs and the rest idle as halted. It panics on invalid
+// configuration.
+func New(cfg Config, cores []pe.Core) *Machine {
+	cfg = cfg.withDefaults()
+	if err := cfg.Net.Validate(); err != nil {
+		panic(err)
+	}
+	ports := cfg.Net.Ports()
+	if cfg.PEs > ports {
+		panic(fmt.Sprintf("machine: %d PEs but only %d network ports", cfg.PEs, ports))
+	}
+	if len(cores) > cfg.PEs {
+		panic(fmt.Sprintf("machine: %d cores for %d PEs", len(cores), cfg.PEs))
+	}
+	m := &Machine{cfg: cfg, net: network.New(cfg.Net)}
+	var h memory.Hasher
+	if cfg.Hashing {
+		h = memory.MultHash{N: ports}
+	} else {
+		h = memory.Interleave{N: ports}
+	}
+	m.bank = memory.NewBank(ports, cfg.MMLatency, h)
+	for i := range cores {
+		peID := i
+		var inject func(msg.Request) bool
+		if cfg.IdealMemory {
+			inject = func(r msg.Request) bool {
+				m.applyIdeal(peID, r)
+				return true
+			}
+		} else {
+			inject = func(r msg.Request) bool { return m.net.Inject(peID, r, m.cycle) }
+		}
+		m.pes = append(m.pes, pe.New(peID, cores[i], h, inject, cfg.MaxOutstanding))
+	}
+	return m
+}
+
+// applyIdeal executes one request against memory immediately (the
+// serialization order is the order requests are issued within the
+// cycle) and schedules its reply for the next PE cycle.
+func (m *Machine) applyIdeal(peID int, r msg.Request) {
+	mod := m.bank.Modules[r.Addr.MM]
+	newVal, ret := msg.Apply(r.Op, mod.Peek(r.Addr.Word), r.Operand)
+	mod.Poke(r.Addr.Word, newVal)
+	mod.Served.Inc()
+	m.idealPending = append(m.idealPending, idealReply{
+		pe:  peID,
+		rep: msg.Reply{ID: r.ID, PE: r.PE, Op: r.Op, Addr: r.Addr, Value: ret},
+	})
+}
+
+// NewPrograms is a convenience constructor wrapping each Program in a
+// GoCore.
+func NewPrograms(cfg Config, progs []pe.Program) *Machine {
+	cores := make([]pe.Core, len(progs))
+	for i, p := range progs {
+		cores[i] = pe.NewGoCore(p)
+	}
+	return New(cfg, cores)
+}
+
+// SPMD builds a machine whose populated PEs all run the same program
+// (each sees its own ctx.PE()).
+func SPMD(cfg Config, n int, prog pe.Program) *Machine {
+	progs := make([]pe.Program, n)
+	for i := range progs {
+		progs[i] = prog
+	}
+	cfg.PEs = n
+	return NewPrograms(cfg, progs)
+}
+
+// Net exposes the interconnect (for statistics).
+func (m *Machine) Net() *network.Network { return m.net }
+
+// Bank exposes the memory modules.
+func (m *Machine) Bank() *memory.Bank { return m.bank }
+
+// PE returns processing element i.
+func (m *Machine) PE(i int) *pe.PE { return m.pes[i] }
+
+// NumPE reports the populated PE count.
+func (m *Machine) NumPE() int { return len(m.pes) }
+
+// Cycles reports elapsed network cycles.
+func (m *Machine) Cycles() int64 { return m.cycle }
+
+// PECycles reports elapsed PE cycles.
+func (m *Machine) PECycles() int64 { return m.peCycles }
+
+// mmPort adapts the network's MM side to memory.Port.
+type mmPort struct {
+	m  *Machine
+	mm int
+}
+
+func (p mmPort) Dequeue() (msg.Request, bool) { return p.m.net.MMDequeue(p.mm) }
+func (p mmPort) Reply(r msg.Reply) bool       { return p.m.net.MMReply(p.mm, r) }
+
+// Step advances the machine one network cycle: the network moves, memory
+// modules serve, replies reach the PEs, and — every PECycle network
+// cycles — each PE executes one instruction cycle. Under IdealMemory the
+// network and module timing are bypassed and last cycle's replies arrive
+// directly.
+func (m *Machine) Step() {
+	if m.cfg.IdealMemory {
+		pending := m.idealPending
+		m.idealPending = nil
+		for _, ir := range pending {
+			m.pes[ir.pe].Deliver(ir.rep, m.peCycles)
+		}
+	} else {
+		m.net.Step(m.cycle)
+		for mm, mod := range m.bank.Modules {
+			mod.Step(m.cycle, mmPort{m, mm})
+		}
+		for i, p := range m.pes {
+			for _, rep := range m.net.Collect(i, m.cycle) {
+				p.Deliver(rep, m.peCycles)
+			}
+		}
+	}
+	if m.cycle%m.cfg.PECycle == 0 {
+		for _, p := range m.pes {
+			p.Tick(m.peCycles, len(m.pes))
+		}
+		m.peCycles++
+	}
+	m.cycle++
+}
+
+// Done reports whether every PE has halted and all traffic has drained.
+func (m *Machine) Done() bool {
+	for _, p := range m.pes {
+		if !p.Halted() || !p.Drained() {
+			return false
+		}
+	}
+	if len(m.idealPending) > 0 {
+		return false
+	}
+	return m.net.InFlight() == 0 && m.bank.Idle()
+}
+
+// Run steps until Done or the network-cycle limit; it reports the PE
+// cycles elapsed and whether the machine finished.
+func (m *Machine) Run(limit int64) (peCycles int64, done bool) {
+	for m.cycle < limit {
+		if m.Done() {
+			return m.peCycles, true
+		}
+		m.Step()
+	}
+	return m.peCycles, m.Done()
+}
+
+// MustRun is Run that panics when the limit is hit — for tests and
+// benchmarks where non-termination is a bug.
+func (m *Machine) MustRun(limit int64) int64 {
+	c, done := m.Run(limit)
+	if !done {
+		panic(fmt.Sprintf("machine: not done after %d network cycles (inflight=%d)",
+			limit, m.net.InFlight()))
+	}
+	return c
+}
+
+// ReadShared reads the word at linear shared address a, bypassing timing.
+func (m *Machine) ReadShared(a int64) int64 { return m.bank.Read(a) }
+
+// WriteShared initializes the word at linear shared address a, bypassing
+// timing (the loader's job).
+func (m *Machine) WriteShared(a, v int64) { m.bank.Write(a, v) }
+
+// ReadSharedF reads a float64 stored as IEEE bits.
+func (m *Machine) ReadSharedF(a int64) float64 {
+	return math.Float64frombits(uint64(m.bank.Read(a)))
+}
+
+// WriteSharedF stores a float64 as IEEE bits.
+func (m *Machine) WriteSharedF(a int64, v float64) {
+	m.bank.Write(a, int64(math.Float64bits(v)))
+}

@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"testing"
+
+	"ultracomputer/internal/pe"
+)
+
+// latencyBound is a stream that alternates one blocking load with a
+// little compute — mostly waiting on central memory.
+func latencyBound(base int64, loads int, result *int64) pe.Program {
+	return func(ctx *pe.Ctx) {
+		var sum int64
+		for i := 0; i < loads; i++ {
+			sum += ctx.Load(base + int64(i))
+			ctx.Compute(1)
+		}
+		*result = sum
+		ctx.Store(base+9999, sum)
+	}
+}
+
+// TestMultiCoreHidesLatency runs the same two streams once on two PEs
+// and once hardware-multiprogrammed on one PE: the single
+// multiprogrammed PE must finish in well under twice the two-PE time
+// because each stream's memory waits are filled by the other stream
+// (§3.5's k-fold multiprogramming).
+func TestMultiCoreHidesLatency(t *testing.T) {
+	const loads = 64
+	run := func(multi bool) (int64, Report) {
+		var r1, r2 int64
+		cfg := cfg16()
+		var m *Machine
+		if multi {
+			mc := pe.NewMultiCore(
+				pe.NewGoCore(latencyBound(0, loads, &r1)),
+				pe.NewGoCore(latencyBound(100, loads, &r2)),
+			)
+			cfg.PEs = 1
+			m = New(cfg, []pe.Core{mc})
+		} else {
+			m = NewPrograms(cfg, []pe.Program{
+				latencyBound(0, loads, &r1),
+				latencyBound(100, loads, &r2),
+			})
+		}
+		for a := int64(0); a < 200; a++ {
+			m.WriteShared(a, 1)
+		}
+		c := m.MustRun(50_000_000)
+		if r1 != loads || r2 != loads {
+			t.Fatalf("streams computed %d, %d; want %d each", r1, r2, loads)
+		}
+		return c, m.Report()
+	}
+	twoPE, _ := run(false)
+	onePE, rep := run(true)
+	// A serial PE would need ~2x the two-PE time; multiprogramming must
+	// recover most of the waiting.
+	if float64(onePE) > 1.5*float64(twoPE) {
+		t.Fatalf("multiprogrammed 1 PE took %d vs %d on 2 PEs; latency not hidden", onePE, twoPE)
+	}
+	// This workload is extremely latency-bound (one compute per load, a
+	// ~11-instruction round trip), so a lone stream idles ~85% of the
+	// time; two interleaved streams must recover a solid share of it.
+	if rep.IdleFrac > 0.72 {
+		t.Fatalf("idle fraction %.2f with two interleaved streams", rep.IdleFrac)
+	}
+}
+
+// TestMultiCoreISAAndGoMix interleaves an ISA-free pair of Go streams
+// with different lifetimes; the PE halts only when all streams have.
+func TestMultiCoreStreamsIndependent(t *testing.T) {
+	cfg := cfg16()
+	cfg.PEs = 1
+	short := pe.NewGoCore(func(ctx *pe.Ctx) {
+		ctx.FetchAdd(500, 1)
+	})
+	long := pe.NewGoCore(func(ctx *pe.Ctx) {
+		for i := 0; i < 20; i++ {
+			ctx.FetchAdd(501, 1)
+			ctx.Compute(5)
+		}
+	})
+	m := New(cfg, []pe.Core{pe.NewMultiCore(short, long)})
+	m.MustRun(10_000_000)
+	if m.ReadShared(500) != 1 || m.ReadShared(501) != 20 {
+		t.Fatalf("streams = %d, %d; want 1, 20", m.ReadShared(500), m.ReadShared(501))
+	}
+}
+
+// TestMultiCoreSameLocation: two streams on one PE touching the same
+// address still respect the PNI's one-outstanding-per-location rule
+// (they share the PNI).
+func TestMultiCoreSameLocation(t *testing.T) {
+	cfg := cfg16()
+	cfg.PEs = 1
+	s1 := pe.NewGoCore(func(ctx *pe.Ctx) {
+		for i := 0; i < 10; i++ {
+			ctx.FetchAdd(42, 1)
+		}
+	})
+	s2 := pe.NewGoCore(func(ctx *pe.Ctx) {
+		for i := 0; i < 10; i++ {
+			ctx.FetchAdd(42, 1)
+		}
+	})
+	m := New(cfg, []pe.Core{pe.NewMultiCore(s1, s2)})
+	m.MustRun(10_000_000)
+	if got := m.ReadShared(42); got != 20 {
+		t.Fatalf("counter = %d, want 20", got)
+	}
+}

@@ -1,0 +1,95 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"ultracomputer/internal/sim"
+)
+
+// Report aggregates the measurements of Table 1 (§4.2) over a finished
+// run: central-memory access time, PE idle behavior, and reference rates.
+type Report struct {
+	PEs          int
+	PECyclesRun  int64
+	Instructions int64
+	IdleCycles   int64
+	LocalRefs    int64
+	SharedRefs   int64
+	SharedLoads  int64
+
+	// AvgCMAccess is the mean issue-to-completion time of shared
+	// requests, in PE instruction times (Table 1 column 1).
+	AvgCMAccess float64
+	// CMAccessP95 is the 95th percentile of the same distribution —
+	// tail latency the mean hides under congestion.
+	CMAccessP95 float64
+	// IdleFrac is the fraction of PE cycles lost waiting (column 2).
+	IdleFrac float64
+	// IdlePerCMLoad is idle cycles per value-returning central-memory
+	// request (column 3); prefetch pushes it below AvgCMAccess.
+	IdlePerCMLoad float64
+	// MemRefPerInstr counts data-memory references (private + shared)
+	// per instruction (column 4).
+	MemRefPerInstr float64
+	// SharedRefPerInstr counts central-memory references per
+	// instruction (column 5).
+	SharedRefPerInstr float64
+
+	// Network-side totals.
+	NetworkInjected int64
+	Combines        int64
+	MMOpsServed     int64
+}
+
+// Report computes the run's aggregate measurements.
+func (m *Machine) Report() Report {
+	r := Report{PEs: len(m.pes), PECyclesRun: m.peCycles}
+	var cmWaitSum float64
+	var cmWaitN int64
+	hist := sim.NewHistogram(256)
+	for _, p := range m.pes {
+		s := p.Stats()
+		hist.Merge(s.CMWaitHist)
+		r.Instructions += s.Instructions.Value()
+		r.IdleCycles += s.IdleCycles.Value()
+		r.LocalRefs += s.LocalRefs.Value()
+		r.SharedRefs += s.SharedRefs.Value()
+		r.SharedLoads += s.SharedLoads.Value()
+		cmWaitSum += s.CMWait.Value() * float64(s.CMWait.N())
+		cmWaitN += s.CMWait.N()
+	}
+	if cmWaitN > 0 {
+		r.AvgCMAccess = cmWaitSum / float64(cmWaitN)
+		r.CMAccessP95 = float64(hist.Quantile(0.95))
+	}
+	if total := r.Instructions + r.IdleCycles; total > 0 {
+		r.IdleFrac = float64(r.IdleCycles) / float64(total)
+	}
+	if r.SharedLoads > 0 {
+		r.IdlePerCMLoad = float64(r.IdleCycles) / float64(r.SharedLoads)
+	}
+	if r.Instructions > 0 {
+		r.MemRefPerInstr = float64(r.LocalRefs+r.SharedRefs) / float64(r.Instructions)
+		r.SharedRefPerInstr = float64(r.SharedRefs) / float64(r.Instructions)
+	}
+	ns := m.net.Stats()
+	r.NetworkInjected = ns.Injected.Value()
+	r.Combines = ns.Combines.Value()
+	r.MMOpsServed = m.bank.TotalServed()
+	return r
+}
+
+// String renders the report as one Table 1 row plus network totals.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PEs=%d cycles=%d instr=%d\n", r.PEs, r.PECyclesRun, r.Instructions)
+	fmt.Fprintf(&b, "avg CM access time      %8.2f PE instr times (p95 %.0f)\n", r.AvgCMAccess, r.CMAccessP95)
+	fmt.Fprintf(&b, "idle cycles             %8.0f%%\n", r.IdleFrac*100)
+	fmt.Fprintf(&b, "idle cycles per CM load %8.2f\n", r.IdlePerCMLoad)
+	fmt.Fprintf(&b, "memory ref per instr    %8.2f\n", r.MemRefPerInstr)
+	fmt.Fprintf(&b, "shared ref per instr    %8.2f\n", r.SharedRefPerInstr)
+	fmt.Fprintf(&b, "network: injected=%d combines=%d mmOps=%d\n",
+		r.NetworkInjected, r.Combines, r.MMOpsServed)
+	return b.String()
+}

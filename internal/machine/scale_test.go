@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"testing"
+
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/pe"
+)
+
+// TestScale256PEs runs a 256-PE machine (4 stages of 4×4 switches) on a
+// self-scheduled reduction — a quick check that nothing in the stack
+// assumes small machines.
+func TestScale256PEs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-PE machine")
+	}
+	cfg := Config{
+		Net:     network.Config{K: 4, Stages: 4, Combining: true},
+		Hashing: true,
+	}
+	const n = 2048
+	m := SPMD(cfg, 256, func(ctx *pe.Ctx) {
+		var local int64
+		for {
+			i := ctx.FetchAdd(10_000, 1)
+			if i >= n {
+				break
+			}
+			local += ctx.Load(i)
+		}
+		ctx.FetchAdd(10_001, local)
+	})
+	var want int64
+	for i := int64(0); i < n; i++ {
+		m.WriteShared(i, i%97)
+		want += i % 97
+	}
+	m.MustRun(100_000_000)
+	if got := m.ReadShared(10_001); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	r := m.Report()
+	if r.Combines == 0 {
+		t.Fatal("no combining on a 256-PE shared counter")
+	}
+}
+
+// TestScaleHotSpot256 checks the combining claim at a size where the
+// effect is dramatic: 256 PEs on one word, memory must see a tiny
+// fraction of the requests.
+func TestScaleHotSpot256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-PE machine")
+	}
+	cfg := Config{
+		Net:     network.Config{K: 4, Stages: 4, Combining: true},
+		Hashing: true,
+	}
+	m := SPMD(cfg, 256, func(ctx *pe.Ctx) {
+		ctx.FetchAdd(7, 1)
+	})
+	m.MustRun(10_000_000)
+	if got := m.ReadShared(7); got != 256 {
+		t.Fatalf("counter = %d, want 256", got)
+	}
+	r := m.Report()
+	if r.MMOpsServed > 64 {
+		t.Fatalf("memory served %d of 256 hot-spot requests; combining weak", r.MMOpsServed)
+	}
+}

@@ -1,0 +1,54 @@
+package memory
+
+import "ultracomputer/internal/msg"
+
+// Hasher maps a linear shared address onto a (module, word) pair. The
+// paper (§3.1.4) introduces a hashing function during virtual-to-physical
+// translation so that each MM is equally likely to be referenced even
+// under unfavorable (e.g. strided) access patterns; interleaving by the
+// low-order bits is the unhashed baseline.
+type Hasher interface {
+	// Map places linear address a.
+	Map(a int64) msg.Addr
+	// Modules reports N, the number of modules addresses spread over.
+	Modules() int
+}
+
+// Interleave is the baseline placement: module = a mod N. Strides that
+// are multiples of N concentrate on a single module.
+type Interleave struct {
+	N int
+}
+
+// Map places address a at module a mod N.
+func (h Interleave) Map(a int64) msg.Addr {
+	if a < 0 {
+		a = -a
+	}
+	return msg.Addr{MM: int(a % int64(h.N)), Word: int(a / int64(h.N))}
+}
+
+// Modules reports N.
+func (h Interleave) Modules() int { return h.N }
+
+// MultHash spreads addresses with a multiplicative (Fibonacci) hash: the
+// module is taken from the high bits of a*phi, decorrelating module
+// choice from any arithmetic structure in the address stream. The word
+// offset keeps the full address, so distinct addresses never collide
+// within a module.
+type MultHash struct {
+	N int
+}
+
+const fibMultiplier = 0x9e3779b97f4a7c15
+
+// Map places address a pseudo-randomly but deterministically.
+func (h MultHash) Map(a int64) msg.Addr {
+	x := uint64(a) * fibMultiplier
+	x ^= x >> 29
+	mm := int(x % uint64(h.N))
+	return msg.Addr{MM: mm, Word: int(a)}
+}
+
+// Modules reports N.
+func (h MultHash) Modules() int { return h.N }

@@ -1,0 +1,152 @@
+package msg
+
+import "fmt"
+
+// Combining semantics (§3.1.2, §3.1.3, §3.3).
+//
+// When request A sits in a switch's ToMM queue and a matching request B
+// (same MM and word) arrives, the switch picks a serialization of the
+// pair, forwards a single combined request, and records in its wait
+// buffer how to synthesize both original replies from the combined
+// request's reply. Since combined requests can themselves be combined at
+// later stages, the scheme composes: any number of concurrent references
+// to one cell cost a single memory access.
+//
+// Each original request's reply is described by a ReplyPlan: either a
+// value known already at combine time (for the store-first
+// serializations of the paper's heterogeneous rules) or a transform
+// phi(Y, e) of the returned value Y (the intermediate value of the
+// serialization, per Figure 3).
+
+// ReplyPlan describes how to produce one original request's reply value
+// from the combined request's reply value Y.
+type ReplyPlan struct {
+	Known bool  // value independent of Y
+	Value int64 // the value, when Known
+	Op    Op    // transform operator, when !Known
+	E     int64 // transform operand, when !Known
+}
+
+// identityPlan passes Y through unchanged (phi = Load's pi1).
+var identityPlan = ReplyPlan{Op: Load}
+
+// knownPlan returns v regardless of Y.
+func knownPlan(v int64) ReplyPlan { return ReplyPlan{Known: true, Value: v} }
+
+// afterPlan returns phi_op(Y, e), the cell's value after op(e) applied to Y.
+func afterPlan(op Op, e int64) ReplyPlan { return ReplyPlan{Op: op, E: e} }
+
+// Synthesize computes the reply value given the combined reply's value y.
+func (p ReplyPlan) Synthesize(y int64) int64 {
+	if p.Known {
+		return p.Value
+	}
+	switch p.Op {
+	case Load:
+		return y
+	case FetchAdd:
+		return y + p.E
+	case FetchAnd:
+		return y & p.E
+	case FetchOr:
+		return y | p.E
+	case FetchMax:
+		return max64(y, p.E)
+	case FetchMin:
+		return min64(y, p.E)
+	case Store, Swap:
+		return p.E
+	default:
+		panic(fmt.Sprintf("msg: Synthesize with invalid op %v", p.Op))
+	}
+}
+
+// Combine attempts to merge queued request A with arriving request B
+// directed at the same address. On success it returns the operation and
+// operand of the single forwarded request plus the reply plans for A and
+// B. ok is false when the pair is not combinable (the network then queues
+// B normally).
+//
+// The supported pairs are the paper's list — Load-Load, Load-Store,
+// Store-Store, FetchAdd-FetchAdd, FetchAdd-Load, FetchAdd-Store — plus
+// the homogeneous pairs of the other fetch-and-phi operators (And, Or,
+// Max, Min are associative and commutative; Swap's pi2 is associative, so
+// pairwise combining with the A-then-B serialization remains correct).
+//
+// Invariant relied on by the network: whenever the forwarded operation is
+// Store (whose reply carries no data word), both plans are Known.
+func Combine(aOp Op, aOperand int64, bOp Op, bOperand int64) (fwdOp Op, fwdOperand int64, aPlan, bPlan ReplyPlan, ok bool) {
+	e, f := aOperand, bOperand
+	switch {
+	case aOp == Load && bOp == Load:
+		return Load, 0, identityPlan, identityPlan, true
+
+	case aOp == FetchAdd && bOp == FetchAdd:
+		// Serialize A then B: A gets Y, B gets Y+e, memory += e+f.
+		return FetchAdd, e + f, identityPlan, afterPlan(FetchAdd, e), true
+
+	case aOp == Load && bOp == FetchAdd:
+		// Load ≡ FetchAdd 0; serialize A then B: both see Y.
+		return FetchAdd, f, identityPlan, identityPlan, true
+
+	case aOp == FetchAdd && bOp == Load:
+		return FetchAdd, e, identityPlan, afterPlan(FetchAdd, e), true
+
+	case aOp == Store && bOp == Store:
+		// Forward either store and ignore the other; the later wins.
+		return Store, f, knownPlan(0), knownPlan(0), true
+
+	case aOp == Load && bOp == Store:
+		// Paper rule 2 serializes the store first: forward the store,
+		// the load returns the stored datum.
+		return Store, f, knownPlan(f), knownPlan(0), true
+
+	case aOp == Store && bOp == Load:
+		return Store, e, knownPlan(0), knownPlan(e), true
+
+	case aOp == FetchAdd && bOp == Store:
+		// Paper rule 3 serializes the store first: forward
+		// Store(f+e); the fetch-and-add returns f.
+		return Store, f + e, knownPlan(f), knownPlan(0), true
+
+	case aOp == Store && bOp == FetchAdd:
+		return Store, e + f, knownPlan(0), knownPlan(e), true
+
+	case aOp == bOp:
+		switch aOp {
+		case FetchAnd:
+			return FetchAnd, e & f, identityPlan, afterPlan(FetchAnd, e), true
+		case FetchOr:
+			return FetchOr, e | f, identityPlan, afterPlan(FetchOr, e), true
+		case FetchMax:
+			return FetchMax, max64(e, f), identityPlan, afterPlan(FetchMax, e), true
+		case FetchMin:
+			return FetchMin, min64(e, f), identityPlan, afterPlan(FetchMin, e), true
+		case Swap:
+			// A then B: A gets Y, B gets e, memory holds f.
+			return Swap, f, identityPlan, afterPlan(Swap, e), true
+		}
+	}
+	return 0, 0, ReplyPlan{}, ReplyPlan{}, false
+}
+
+// Combinable reports whether a queued request with operation a can absorb
+// an arriving request with operation b for the same address.
+func Combinable(a, b Op) bool {
+	_, _, _, _, ok := Combine(a, 0, b, 0)
+	return ok
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

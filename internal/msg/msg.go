@@ -1,0 +1,160 @@
+// Package msg defines the memory-request and reply messages that travel
+// through the Ultracomputer's combining Omega network, together with the
+// fetch-and-phi algebra that makes requests combinable.
+//
+// The paper's §2.2–2.4 define fetch-and-add and its generalization
+// fetch-and-phi for any associative phi; §3.1.2–3.1.3 define how two
+// requests directed at the same memory location combine inside a switch.
+// This package centralizes those semantics so the network, the memory
+// modules and the idealized paracomputer runtime all agree exactly.
+package msg
+
+import "fmt"
+
+// Op identifies a memory operation. Every Op is a fetch-and-phi for some
+// phi (§2.4): Load is fetch-and-phi with the projection pi1 (expressed
+// here, following the paper, as FetchAdd with increment 0), Store is the
+// projection pi2, Swap is pi2 with the old value returned, TestAndSet is
+// fetch-and-or with TRUE.
+type Op uint8
+
+const (
+	// Load reads a word of central memory.
+	Load Op = iota
+	// Store writes a word of central memory.
+	Store
+	// FetchAdd atomically returns the old value and adds the operand.
+	FetchAdd
+	// FetchAnd atomically returns the old value and ANDs the operand.
+	FetchAnd
+	// FetchOr atomically returns the old value and ORs the operand.
+	FetchOr
+	// FetchMax atomically returns the old value and stores the maximum
+	// of it and the operand.
+	FetchMax
+	// FetchMin atomically returns the old value and stores the minimum
+	// of it and the operand.
+	FetchMin
+	// Swap atomically returns the old value and stores the operand
+	// (fetch-and-pi2).
+	Swap
+
+	numOps
+)
+
+var opNames = [...]string{"Load", "Store", "FetchAdd", "FetchAnd", "FetchOr", "FetchMax", "FetchMin", "Swap"}
+
+// String names the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o < numOps }
+
+// ReturnsValue reports whether the PE waits for a data word in the reply.
+// Stores are acknowledged but carry no datum back.
+func (o Op) ReturnsValue() bool { return o != Store }
+
+// Addr locates a word of central memory: the module (after hashing) and
+// the word offset within the module. Routing through the Omega network is
+// determined solely by the MM bits, one radix-k digit per stage.
+type Addr struct {
+	MM   int // memory module number, 0..N-1
+	Word int // word offset within the module
+}
+
+// String formats the address as MM:Word.
+func (a Addr) String() string { return fmt.Sprintf("%d:%d", a.MM, a.Word) }
+
+// Packet sizes, following §4.2: a message carrying a data word is modeled
+// as three packets, one without data as a single packet.
+const (
+	PacketsWithData    = 3
+	PacketsWithoutData = 1
+)
+
+// Request is a PE-to-MM message. The paper transmits only a D-bit amalgam
+// of origin and destination (each stage-j switch overwrites destination
+// bit m_j with origin bit p_j); we carry both PE and Addr explicitly and
+// account for the amalgam when sizing packets.
+type Request struct {
+	ID      uint64 // unique tag assigned by the issuing PNI
+	PE      int    // originating processing element
+	Op      Op
+	Addr    Addr
+	Operand int64 // store datum or fetch-and-phi operand
+	Issued  int64 // cycle the PNI injected the request (latency accounting)
+}
+
+// Packets reports the request's length in network packets.
+func (r Request) Packets() int {
+	if r.Op == Load {
+		return PacketsWithoutData
+	}
+	return PacketsWithData
+}
+
+// String formats the request for debugging.
+func (r Request) String() string {
+	return fmt.Sprintf("req{%d pe%d %s %s %d}", r.ID, r.PE, r.Op, r.Addr, r.Operand)
+}
+
+// Reply is an MM-to-PE message answering one Request.
+type Reply struct {
+	ID    uint64
+	PE    int
+	Op    Op
+	Addr  Addr
+	Value int64 // the fetched (old) value; undefined for Store
+}
+
+// Packets reports the reply's length in network packets. Store
+// acknowledgements carry no data.
+func (r Reply) Packets() int {
+	if r.Op == Store {
+		return PacketsWithoutData
+	}
+	return PacketsWithData
+}
+
+// String formats the reply for debugging.
+func (r Reply) String() string {
+	return fmt.Sprintf("rep{%d pe%d %s %s = %d}", r.ID, r.PE, r.Op, r.Addr, r.Value)
+}
+
+// Apply executes op on a memory cell holding old with the given operand,
+// returning the cell's new contents and the value returned to the
+// requester (the old contents for every fetch operation). This is the
+// MNI's ALU (§3.1.3).
+func Apply(op Op, old, operand int64) (newVal, ret int64) {
+	switch op {
+	case Load:
+		return old, old
+	case Store:
+		return operand, 0
+	case FetchAdd:
+		return old + operand, old
+	case FetchAnd:
+		return old & operand, old
+	case FetchOr:
+		return old | operand, old
+	case FetchMax:
+		if operand > old {
+			return operand, old
+		}
+		return old, old
+	case FetchMin:
+		if operand < old {
+			return operand, old
+		}
+		return old, old
+	case Swap:
+		return operand, old
+	default:
+		panic(fmt.Sprintf("msg: Apply on invalid op %v", op))
+	}
+}

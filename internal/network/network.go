@@ -1,0 +1,228 @@
+package network
+
+import (
+	"fmt"
+
+	"ultracomputer/internal/msg"
+	"ultracomputer/internal/sim"
+)
+
+// Stats aggregates network activity across all copies.
+type Stats struct {
+	// Injected counts requests accepted from PEs.
+	Injected sim.Counter
+	// DeliveredToMM counts requests handed to memory modules
+	// (post-combining, so DeliveredToMM <= Injected).
+	DeliveredToMM sim.Counter
+	// Combines counts pairwise combinations performed in switches.
+	Combines sim.Counter
+	// Decombines counts wait-buffer matches on the return path.
+	Decombines sim.Counter
+	// RepliesDelivered counts replies handed to PEs.
+	RepliesDelivered sim.Counter
+	// RoundTrip observes inject-to-reply latency in network cycles.
+	RoundTrip sim.Mean
+
+	// perStageCombines counts combinations by stage (index 0 is the PE
+	// side): on a hot spot the combining tree forms across all stages.
+	perStageCombines []int64
+}
+
+func (s *Stats) combineAtStage(stage int) {
+	for len(s.perStageCombines) <= stage {
+		s.perStageCombines = append(s.perStageCombines, 0)
+	}
+	s.perStageCombines[stage]++
+}
+
+// CombinesPerStage reports combinations by switch stage (stage 0 is
+// nearest the PEs).
+func (s *Stats) CombinesPerStage() []int64 {
+	return append([]int64(nil), s.perStageCombines...)
+}
+
+// Network is the Ultracomputer interconnect: Copies identical Omega
+// networks over which each PE spreads its requests round-robin (§4.1).
+// The caller drives it cycle by cycle, injecting requests on the PE side,
+// serving arrivals on the MM side, and collecting replies.
+//
+// Request IDs must be unique among in-flight requests; the PNI layer in
+// internal/pe guarantees this, as do the trace generators.
+type Network struct {
+	cfg    Config
+	copies []*copyNet
+	next   []int            // per-PE round-robin copy index
+	via    map[uint64]int   // in-flight request ID -> copy carrying it
+	issued map[uint64]int64 // in-flight request ID -> inject cycle
+	dead   []bool           // fail-stopped copies (no new requests)
+	stats  Stats
+}
+
+// New builds a network from cfg. It panics on an invalid configuration
+// (construction happens at setup time; see Config.Validate).
+func New(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{
+		cfg:    cfg,
+		next:   make([]int, cfg.Ports()),
+		via:    make(map[uint64]int),
+		issued: make(map[uint64]int64),
+	}
+	for i := 0; i < cfg.Copies; i++ {
+		n.copies = append(n.copies, newCopyNet(cfg, &n.stats))
+	}
+	n.dead = make([]bool, cfg.Copies)
+	return n
+}
+
+// FailCopy fail-stops network copy i: no new requests enter it, but
+// traffic already inside drains normally (replies still return). This is
+// the reliability benefit §4.1 attributes to using several copies of the
+// network; with every copy failed, Inject refuses all traffic.
+func (n *Network) FailCopy(i int) {
+	if i < 0 || i >= len(n.dead) {
+		panic(fmt.Sprintf("network: FailCopy(%d) of %d copies", i, len(n.dead)))
+	}
+	n.dead[i] = true
+}
+
+// AliveCopies reports how many copies still accept traffic.
+func (n *Network) AliveCopies() int {
+	alive := 0
+	for _, d := range n.dead {
+		if !d {
+			alive++
+		}
+	}
+	return alive
+}
+
+// Config returns the configuration the network was built with (with
+// defaults applied).
+func (n *Network) Config() Config { return n.cfg }
+
+// Ports reports N, the number of PE and MM ports.
+func (n *Network) Ports() int { return n.cfg.Ports() }
+
+// Stats exposes the accumulated statistics.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// Inject offers a request at PE pe's network interface. Copies are tried
+// round-robin; Inject reports false when every copy's PNI queue is full
+// (the PE must retry next cycle).
+func (n *Network) Inject(pe int, r msg.Request, cycle int64) bool {
+	if pe < 0 || pe >= n.Ports() {
+		panic(fmt.Sprintf("network: Inject at PE %d of %d", pe, n.Ports()))
+	}
+	for i := 0; i < len(n.copies); i++ {
+		ci := (n.next[pe] + i) % len(n.copies)
+		if n.dead[ci] {
+			continue
+		}
+		c := n.copies[ci]
+		if c.pniQ[pe].spaceFor(r.Packets()) {
+			c.pniQ[pe].push(r)
+			n.next[pe] = (ci + 1) % len(n.copies)
+			n.via[r.ID] = ci
+			n.issued[r.ID] = cycle
+			n.stats.Injected.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// Step advances every copy one network cycle.
+func (n *Network) Step(cycle int64) {
+	for _, c := range n.copies {
+		c.step(cycle)
+	}
+}
+
+// MMDequeue removes the next fully assembled request waiting at memory
+// module mm, searching copies round-robin from the module's perspective.
+func (n *Network) MMDequeue(mm int) (msg.Request, bool) {
+	for _, c := range n.copies {
+		if r, ok := c.mmIn[mm].pop(); ok {
+			n.stats.DeliveredToMM.Inc()
+			return r, true
+		}
+	}
+	return msg.Request{}, false
+}
+
+// MMPending reports how many requests are waiting at memory module mm.
+func (n *Network) MMPending(mm int) int {
+	total := 0
+	for _, c := range n.copies {
+		total += c.mmIn[mm].len()
+	}
+	return total
+}
+
+// MMReply enqueues a reply at memory module mm's network interface. The
+// reply returns through the copy that carried its request. It reports
+// false when that copy's MNI queue is full (the MM must retry).
+func (n *Network) MMReply(mm int, rep msg.Reply) bool {
+	ci, ok := n.via[rep.ID]
+	if !ok {
+		panic(fmt.Sprintf("network: MMReply for unknown request ID %d", rep.ID))
+	}
+	c := n.copies[ci]
+	if !c.mmOut[mm].spaceFor(rep.Packets()) {
+		return false
+	}
+	c.mmOut[mm].push(rep)
+	delete(n.via, rep.ID)
+	return true
+}
+
+// Collect drains the replies fully received at PE pe, recording
+// round-trip latencies.
+func (n *Network) Collect(pe int, cycle int64) []msg.Reply {
+	var out []msg.Reply
+	for _, c := range n.copies {
+		if len(c.peRecv[pe]) > 0 {
+			out = append(out, c.peRecv[pe]...)
+			c.peRecv[pe] = c.peRecv[pe][:0]
+		}
+	}
+	for _, rep := range out {
+		if t0, ok := n.issued[rep.ID]; ok {
+			n.stats.RoundTrip.Observe(float64(cycle - t0))
+			delete(n.issued, rep.ID)
+		}
+		n.stats.RepliesDelivered.Inc()
+	}
+	return out
+}
+
+// SampleQueues records the current occupancy (in packets) of every
+// forward switch queue into h — call periodically to build the
+// queue-length distribution behind the §4.1 delay analysis.
+func (n *Network) SampleQueues(h *sim.Histogram) {
+	for _, c := range n.copies {
+		for s := range c.fq {
+			for _, q := range c.fq[s] {
+				h.Observe(int64(q.occupancy()))
+			}
+		}
+	}
+}
+
+// InFlight counts messages resident anywhere in the network, including
+// replies delivered to PE buffers but not yet collected. Zero means the
+// network has fully drained.
+func (n *Network) InFlight() int {
+	total := 0
+	for _, c := range n.copies {
+		total += c.inFlightLocal()
+		for pe := range c.peRecv {
+			total += len(c.peRecv[pe])
+		}
+	}
+	return total
+}

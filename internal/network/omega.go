@@ -1,0 +1,388 @@
+package network
+
+import "ultracomputer/internal/msg"
+
+// reqServer transmits one request across a link. A message of P packets
+// occupies the link for P cycles; its header is deliverable to the next
+// stage one cycle after service starts (cut-through), so an unloaded
+// network adds one cycle of delay per stage plus the pipe-setting time
+// (§4.1's "+ m − 1" term). Delivery into a memory module waits for the
+// full message (the MNI assembles requests, §3.4).
+type reqServer struct {
+	active    bool
+	delivered bool
+	start     int64
+	req       msg.Request
+}
+
+// repServer is the reply-path equivalent of reqServer.
+type repServer struct {
+	active    bool
+	delivered bool
+	start     int64
+	rep       msg.Reply
+}
+
+// copyNet is one copy of the Omega network: D stages of N/k switches,
+// each switch holding k ToMM queues with wait buffers (forward component)
+// and k ToPE queues (reverse component), plus the PNI and MNI link
+// queues.
+type copyNet struct {
+	topo topology
+	cfg  Config
+
+	// Forward (PE → MM) path.
+	pniQ   []*reqQueue   // [pe] PNI output queue
+	pniSrv []reqServer   // [pe] PNI-to-stage-0 link
+	fq     [][]*reqQueue // [stage][switch*k+port] ToMM queues
+	fsrv   [][]reqServer // [stage][switch*k+port]
+	wb     [][]*waitBuffer
+	mmIn   []*reqQueue // [mm] fully assembled requests awaiting the MM
+
+	// Reverse (MM → PE) path.
+	mmOut  []*repQueue   // [mm] MNI output queue
+	mmSrv  []repServer   // [mm] MNI-to-last-stage link
+	rq     [][]*repQueue // [stage][switch*k+port] ToPE queues
+	rsrv   [][]repServer
+	peRecv [][]msg.Reply // [pe] fully assembled replies for the PE
+
+	// revDefer holds, per switch, the second reply synthesized by a
+	// decombination when its ToPE queue lacked space that cycle (a
+	// one-entry register in the hardware). While occupied, the switch
+	// refuses further incoming replies so the register cannot be
+	// overrun; it drains as the ToPE queues empty toward the PEs.
+	revDefer [][]deferredReply
+
+	stats *Stats
+}
+
+func newCopyNet(cfg Config, st *Stats) *copyNet {
+	t := newTopology(cfg.K, cfg.Stages)
+	c := &copyNet{topo: t, cfg: cfg, stats: st}
+	n := t.n
+	c.pniQ = make([]*reqQueue, n)
+	c.pniSrv = make([]reqServer, n)
+	c.mmIn = make([]*reqQueue, n)
+	c.mmOut = make([]*repQueue, n)
+	c.mmSrv = make([]repServer, n)
+	c.peRecv = make([][]msg.Reply, n)
+	for i := 0; i < n; i++ {
+		c.pniQ[i] = newReqQueue(cfg.PNIQueueCapacity)
+		c.mmIn[i] = newReqQueue(cfg.QueueCapacity)
+		c.mmOut[i] = newRepQueue(cfg.QueueCapacity)
+	}
+	c.fq = make([][]*reqQueue, t.stages)
+	c.fsrv = make([][]reqServer, t.stages)
+	c.wb = make([][]*waitBuffer, t.stages)
+	c.rq = make([][]*repQueue, t.stages)
+	c.rsrv = make([][]repServer, t.stages)
+	c.revDefer = make([][]deferredReply, t.stages)
+	for s := 0; s < t.stages; s++ {
+		c.revDefer[s] = make([]deferredReply, t.group)
+		c.fq[s] = make([]*reqQueue, n)
+		c.fsrv[s] = make([]reqServer, n)
+		c.wb[s] = make([]*waitBuffer, n)
+		c.rq[s] = make([]*repQueue, n)
+		c.rsrv[s] = make([]repServer, n)
+		for l := 0; l < n; l++ {
+			c.fq[s][l] = newReqQueue(cfg.QueueCapacity)
+			c.wb[s][l] = newWaitBuffer(cfg.WaitBufferCapacity)
+			c.rq[s][l] = newRepQueue(cfg.QueueCapacity)
+		}
+	}
+	return c
+}
+
+// line converts (switch, port) to a line number within a stage.
+func (c *copyNet) line(sw, port int) int { return sw*c.topo.k + port }
+
+// enqueueForward routes a request into the ToMM queue of stage s selected
+// by the destination digit, attempting combination first (§3.3). It
+// reports false when the request cannot be accepted this cycle.
+func (c *copyNet) enqueueForward(s, sw int, r msg.Request) bool {
+	port := c.topo.digit(r.Addr.MM, s)
+	idx := c.line(sw, port)
+	q := c.fq[s][idx]
+	if c.cfg.Combining {
+		if i := q.findCombinable(r); i >= 0 {
+			w := c.wb[s][idx]
+			if w.hasSpace() {
+				old := q.entries[i].req
+				fop, farg, aPlan, bPlan, ok := msg.Combine(old.Op, old.Operand, r.Op, r.Operand)
+				if ok && q.updateCombined(i, fop, farg) {
+					w.add(waitRec{
+						key:  old.ID,
+						addr: old.Addr,
+						a:    side{old.ID, old.PE, old.Op, aPlan},
+						b:    side{r.ID, r.PE, r.Op, bPlan},
+					})
+					c.stats.Combines.Inc()
+					c.stats.combineAtStage(s)
+					return true
+				}
+			}
+		}
+	}
+	if !q.spaceFor(r.Packets()) {
+		return false
+	}
+	q.push(r)
+	return true
+}
+
+// deferredReply is a one-entry holding register for the second reply of a
+// decombination whose ToPE queue was momentarily full.
+type deferredReply struct {
+	rep   msg.Reply
+	port  int
+	valid bool
+}
+
+// acceptReply receives a reply arriving at stage s on MM-side port inPort
+// of switch sw. If the reply's identity matches a wait-buffer record, the
+// record is consumed and both original replies are synthesized and routed
+// (decombination, §3.3); otherwise the reply is routed alone. It reports
+// false when the required ToPE queue space is unavailable this cycle.
+func (c *copyNet) acceptReply(s, sw, inPort int, rep msg.Reply) bool {
+	if c.revDefer[s][sw].valid {
+		// The switch still holds an undelivered second reply; block
+		// incoming replies until it drains.
+		return false
+	}
+	w := c.wb[s][c.line(sw, inPort)]
+	if rec, found := w.peek(rep.ID); found {
+		ra := synthReply(rec.a, rec.addr, rep.Value)
+		rb := synthReply(rec.b, rec.addr, rep.Value)
+		pa := c.topo.digit(ra.PE, s)
+		pb := c.topo.digit(rb.PE, s)
+		qa := c.rq[s][c.line(sw, pa)]
+		qb := c.rq[s][c.line(sw, pb)]
+		if !qa.spaceFor(ra.Packets()) {
+			return false
+		}
+		w.take(rep.ID)
+		qa.push(ra)
+		// If qa == qb, qb's occupancy already includes ra.
+		if qb.spaceFor(rb.Packets()) {
+			qb.push(rb)
+		} else {
+			c.revDefer[s][sw] = deferredReply{rep: rb, port: pb, valid: true}
+		}
+		c.stats.Decombines.Inc()
+		return true
+	}
+	q := c.rq[s][c.line(sw, c.topo.digit(rep.PE, s))]
+	if !q.spaceFor(rep.Packets()) {
+		return false
+	}
+	q.push(rep)
+	return true
+}
+
+// flushDeferred retries delivery of held second replies into their ToPE
+// queues.
+func (c *copyNet) flushDeferred() {
+	for s := 0; s < c.topo.stages; s++ {
+		for sw := range c.revDefer[s] {
+			d := &c.revDefer[s][sw]
+			if !d.valid {
+				continue
+			}
+			q := c.rq[s][c.line(sw, d.port)]
+			if q.spaceFor(d.rep.Packets()) {
+				q.push(d.rep)
+				d.valid = false
+			}
+		}
+	}
+}
+
+// synthReply builds the reply owed to one side of a combined pair from
+// the combined reply's value (Figure 3).
+func synthReply(sd side, addr msg.Addr, y int64) msg.Reply {
+	return msg.Reply{ID: sd.id, PE: sd.pe, Op: sd.op, Addr: addr, Value: sd.plan.Synthesize(y)}
+}
+
+// step advances the copy one network cycle. Forward stages are processed
+// MM-side first and reverse stages PE-side first so that space freed by a
+// downstream hop is usable upstream in the same cycle while every message
+// still advances at most one stage per cycle.
+func (c *copyNet) step(cycle int64) {
+	c.stepForward(cycle)
+	c.stepReverse(cycle)
+}
+
+// stepForward pumps the forward links upstream-first (PNI, then stages
+// 0..D−1): a message delivered into a stage's queue this cycle can begin
+// service the same cycle, so an unloaded header advances one stage per
+// cycle; the ready-at-start+1 rule in pumpRequest bounds every message to
+// at most one hop per cycle.
+func (c *copyNet) stepForward(cycle int64) {
+	t := c.topo
+	for pe := 0; pe < t.n; pe++ {
+		c.pumpRequest(&c.pniSrv[pe], cycle, -1, pe)
+	}
+	for s := 0; s < t.stages; s++ {
+		for l := 0; l < t.n; l++ {
+			c.pumpRequest(&c.fsrv[s][l], cycle, s, l)
+		}
+	}
+}
+
+// pumpRequest advances one forward link server. s == -1 denotes a PNI
+// link (l is the PE number); otherwise l = switch*k + port at stage s.
+func (c *copyNet) pumpRequest(srv *reqServer, cycle int64, s, l int) {
+	t := c.topo
+	if srv.active && !srv.delivered {
+		pk := int64(srv.req.Packets())
+		lastStage := s == t.stages-1
+		ready := cycle >= srv.start+1
+		if lastStage {
+			// The MNI assembles the full message before the MM
+			// sees it.
+			ready = cycle >= srv.start+pk
+		}
+		if ready {
+			var ok bool
+			if lastStage {
+				mm := l // output line of the last stage is the MM number
+				if c.mmIn[mm].spaceFor(srv.req.Packets()) {
+					c.mmIn[mm].push(srv.req)
+					ok = true
+				}
+			} else {
+				// The perfect shuffle wires output line l (or PE
+				// l when s == -1) to the next stage.
+				nextSw := t.shuffle(l) / t.k
+				ok = c.enqueueForward(s+1, nextSw, srv.req)
+			}
+			if ok {
+				srv.delivered = true
+			}
+		}
+	}
+	if srv.active && srv.delivered && cycle >= srv.start+int64(srv.req.Packets()) {
+		srv.active = false
+	}
+	if !srv.active {
+		var q *reqQueue
+		if s < 0 {
+			q = c.pniQ[l]
+		} else {
+			q = c.fq[s][l]
+		}
+		if r, ok := q.pop(); ok {
+			srv.active = true
+			srv.delivered = false
+			srv.start = cycle
+			srv.req = r
+		}
+	}
+}
+
+// stepReverse pumps the reverse links upstream-first (MNI, then stages
+// D−1..0), mirroring stepForward.
+func (c *copyNet) stepReverse(cycle int64) {
+	t := c.topo
+	c.flushDeferred()
+	for mm := 0; mm < t.n; mm++ {
+		c.pumpReply(&c.mmSrv[mm], cycle, t.stages, mm)
+	}
+	for s := t.stages - 1; s >= 0; s-- {
+		for l := 0; l < t.n; l++ {
+			c.pumpReply(&c.rsrv[s][l], cycle, s, l)
+		}
+	}
+}
+
+// pumpReply advances one reverse link server. s == stages denotes an MNI
+// link (l is the MM number); otherwise l = switch*k + PE-side port at
+// stage s.
+func (c *copyNet) pumpReply(srv *repServer, cycle int64, s, l int) {
+	t := c.topo
+	if srv.active && !srv.delivered {
+		pk := int64(srv.rep.Packets())
+		toPE := s == 0
+		ready := cycle >= srv.start+1
+		if toPE {
+			// The PNI assembles the full reply before the PE sees it.
+			ready = cycle >= srv.start+pk
+		}
+		if ready {
+			var ok bool
+			switch {
+			case toPE:
+				pe := t.unshuffle(l)
+				c.peRecv[pe] = append(c.peRecv[pe], srv.rep)
+				ok = true
+			case s == t.stages:
+				// MNI into the last stage: MM m is wired to
+				// switch m/k, MM-side port m%k.
+				ok = c.acceptReply(t.stages-1, l/t.k, l%t.k, srv.rep)
+			default:
+				prev := t.unshuffle(l)
+				ok = c.acceptReply(s-1, prev/t.k, prev%t.k, srv.rep)
+			}
+			if ok {
+				srv.delivered = true
+			}
+		}
+	}
+	if srv.active && srv.delivered && cycle >= srv.start+int64(srv.rep.Packets()) {
+		srv.active = false
+	}
+	if !srv.active {
+		var q *repQueue
+		if s == t.stages {
+			q = c.mmOut[l]
+		} else {
+			q = c.rq[s][l]
+		}
+		if r, ok := q.pop(); ok {
+			srv.active = true
+			srv.delivered = false
+			srv.start = cycle
+			srv.rep = r
+		}
+	}
+}
+
+// inFlightLocal counts messages resident in this copy's queues and
+// servers (excluding the peRecv buffers, which the caller drains).
+func (c *copyNet) inFlightLocal() int {
+	t := c.topo
+	n := 0
+	for pe := 0; pe < t.n; pe++ {
+		n += c.pniQ[pe].len()
+		if c.pniSrv[pe].active {
+			n++
+		}
+		n += c.mmIn[pe].len()
+		n += c.mmOut[pe].len()
+		if c.mmSrv[pe].active {
+			n++
+		}
+	}
+	for s := 0; s < t.stages; s++ {
+		for l := 0; l < t.n; l++ {
+			n += c.fq[s][l].len()
+			if c.fsrv[s][l].active {
+				n++
+			}
+			n += c.rq[s][l].len()
+			if c.rsrv[s][l].active {
+				n++
+			}
+			// Each wait record stands for one absorbed request
+			// whose reply is still owed (its partner is counted
+			// on the path).
+			n += c.wb[s][l].len()
+		}
+		for sw := range c.revDefer[s] {
+			if c.revDefer[s][sw].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

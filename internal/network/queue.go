@@ -1,0 +1,182 @@
+package network
+
+import "ultracomputer/internal/msg"
+
+// reqQueue is a switch output queue on the PE-to-MM path (a "ToMM queue",
+// §3.3). Capacity is measured in packets, as in the paper's simulations.
+// Entries may be searched associatively so that an arriving request can
+// combine with a queued request for the same memory word; a queued entry
+// that has already absorbed a partner is marked and never combines again
+// (the switch supports only pairwise combination, §3.3).
+//
+// The hardware realization is the enhanced Guibas–Liang systolic queue of
+// §3.3.1 (see systolic.go, which models the three-column mechanics); this
+// structure implements the same abstract behavior — FIFO order, one exit
+// per cycle, associative match of a new entry against queued entries —
+// without simulating the column movements.
+type reqQueue struct {
+	entries []reqEntry
+	packets int
+	cap     int
+}
+
+// reqEntry is one queued request plus its combining state.
+type reqEntry struct {
+	req      msg.Request
+	combined bool // already absorbed a partner; may not combine again
+}
+
+func newReqQueue(capPackets int) *reqQueue { return &reqQueue{cap: capPackets} }
+
+// spaceFor reports whether pk more packets fit.
+func (q *reqQueue) spaceFor(pk int) bool { return q.packets+pk <= q.cap }
+
+// empty reports whether the queue holds no requests.
+func (q *reqQueue) empty() bool { return len(q.entries) == 0 }
+
+// len reports the number of queued requests (not packets).
+func (q *reqQueue) len() int { return len(q.entries) }
+
+// occupancy reports the queue occupancy in packets.
+func (q *reqQueue) occupancy() int { return q.packets }
+
+// push appends a request. The caller must have checked spaceFor.
+func (q *reqQueue) push(r msg.Request) {
+	q.entries = append(q.entries, reqEntry{req: r})
+	q.packets += r.Packets()
+}
+
+// pop removes and returns the head request.
+func (q *reqQueue) pop() (msg.Request, bool) {
+	if len(q.entries) == 0 {
+		return msg.Request{}, false
+	}
+	e := q.entries[0]
+	q.entries = q.entries[1:]
+	q.packets -= e.req.Packets()
+	return e.req, true
+}
+
+// findCombinable returns the index of a queued entry that can absorb r
+// (same memory word, compatible operations, not yet combined), or -1.
+func (q *reqQueue) findCombinable(r msg.Request) int {
+	for i := range q.entries {
+		e := &q.entries[i]
+		if e.combined || e.req.Addr != r.Addr {
+			continue
+		}
+		if msg.Combinable(e.req.Op, r.Op) {
+			return i
+		}
+	}
+	return -1
+}
+
+// updateCombined replaces entry i's operation and operand with the
+// combined request and marks it, adjusting packet occupancy. It reports
+// false (leaving the entry untouched) if the combined message would not
+// fit in the remaining capacity.
+func (q *reqQueue) updateCombined(i int, op msg.Op, operand int64) bool {
+	e := &q.entries[i]
+	newReq := e.req
+	newReq.Op = op
+	newReq.Operand = operand
+	delta := newReq.Packets() - e.req.Packets()
+	if delta > 0 && q.packets+delta > q.cap {
+		return false
+	}
+	q.packets += delta
+	e.req = newReq
+	e.combined = true
+	return true
+}
+
+// repQueue is a switch output queue on the MM-to-PE path (a "ToPE queue",
+// §3.3): a plain packet-bounded FIFO of replies.
+type repQueue struct {
+	entries []msg.Reply
+	packets int
+	cap     int
+}
+
+func newRepQueue(capPackets int) *repQueue { return &repQueue{cap: capPackets} }
+
+func (q *repQueue) spaceFor(pk int) bool { return q.packets+pk <= q.cap }
+func (q *repQueue) empty() bool          { return len(q.entries) == 0 }
+func (q *repQueue) len() int             { return len(q.entries) }
+func (q *repQueue) occupancy() int       { return q.packets }
+
+func (q *repQueue) push(r msg.Reply) {
+	q.entries = append(q.entries, r)
+	q.packets += r.Packets()
+}
+
+func (q *repQueue) pop() (msg.Reply, bool) {
+	if len(q.entries) == 0 {
+		return msg.Reply{}, false
+	}
+	r := q.entries[0]
+	q.entries = q.entries[1:]
+	q.packets -= r.Packets()
+	return r, true
+}
+
+// side identifies one of the two original requests recorded in a wait
+// buffer entry, with the plan for synthesizing its reply.
+type side struct {
+	id   uint64
+	pe   int
+	op   msg.Op
+	plan msg.ReplyPlan
+}
+
+// waitRec is one wait buffer entry: when the reply to the forwarded
+// combined request (identified by key) returns, the two original replies
+// are synthesized (§3.3, Figure 3).
+type waitRec struct {
+	key  uint64 // ID of the forwarded (queued) request
+	addr msg.Addr
+	a, b side
+}
+
+// waitBuffer holds the combined-request records of one ToMM queue,
+// searched associatively by the returning reply's identity.
+type waitBuffer struct {
+	recs []waitRec
+	cap  int
+}
+
+func newWaitBuffer(capRecs int) *waitBuffer { return &waitBuffer{cap: capRecs} }
+
+// hasSpace reports whether another record fits.
+func (w *waitBuffer) hasSpace() bool { return len(w.recs) < w.cap }
+
+// len reports the number of outstanding records.
+func (w *waitBuffer) len() int { return len(w.recs) }
+
+// add inserts a record. The caller must have checked hasSpace.
+func (w *waitBuffer) add(r waitRec) { w.recs = append(w.recs, r) }
+
+// take removes and returns the record keyed by id, if any. At most one
+// record can match: request IDs are unique among in-flight messages and
+// each queued request combines at most once per switch.
+func (w *waitBuffer) take(id uint64) (waitRec, bool) {
+	for i := range w.recs {
+		if w.recs[i].key == id {
+			r := w.recs[i]
+			w.recs = append(w.recs[:i], w.recs[i+1:]...)
+			return r, true
+		}
+	}
+	return waitRec{}, false
+}
+
+// peek reports whether a record keyed by id exists without removing it.
+func (w *waitBuffer) peek(id uint64) (waitRec, bool) {
+	for i := range w.recs {
+		if w.recs[i].key == id {
+			return w.recs[i], true
+		}
+	}
+	return waitRec{}, false
+}

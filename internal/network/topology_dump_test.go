@@ -1,0 +1,43 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestDescribeTopologyFigure2(t *testing.T) {
+	// The paper's Figure 2 draws the 8-port, three-stage, 2x2 case.
+	out := DescribeTopology(2, 3)
+	for _, want := range []string{
+		"8 PEs -> 3 stages of 4 2x2 switches -> 8 MMs",
+		"stage 0:", "stage 1:", "stage 2:",
+		"PE0", "MM7",
+		"path PE1 -> MM6:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("topology dump missing %q:\n%s", want, out)
+		}
+	}
+	// The sample path must land at the right MM.
+	if !strings.Contains(out, "-> MM6") {
+		t.Fatalf("sample path did not end at MM6:\n%s", out)
+	}
+}
+
+func TestDescribeTopologyLargerRadix(t *testing.T) {
+	out := DescribeTopology(4, 2)
+	if !strings.Contains(out, "16 PEs -> 2 stages of 4 4x4 switches -> 16 MMs") {
+		t.Fatalf("unexpected header:\n%s", out)
+	}
+	// Every MM appears exactly once as a stage output (the sample-path
+	// footer mentions one MM again, so count only the wiring section).
+	wiring, _, _ := strings.Cut(out, "\npath ")
+	for mm := 0; mm < 16; mm++ {
+		tok := fmt.Sprintf("MM%d", mm)
+		c := strings.Count(wiring, tok+" ") + strings.Count(wiring, tok+"\n")
+		if c != 1 {
+			t.Fatalf("%s appears %d times in wiring, want 1", tok, c)
+		}
+	}
+}

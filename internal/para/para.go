@@ -1,0 +1,123 @@
+// Package para implements the idealized paracomputer of §2.1: autonomous
+// processing elements sharing a central memory in which every operation —
+// including simultaneous operations on the same cell — satisfies the
+// serialization principle, augmented with fetch-and-add and the
+// fetch-and-phi family (§2.2–2.4).
+//
+// Unlike internal/machine, which simulates the realizable approximation
+// cycle by cycle, this package provides the un-realizable ideal directly:
+// goroutines are PEs and a sharded atomic map is the single-cycle shared
+// memory. It is the substrate on which the coordination algorithms of
+// internal/coord are validated under real concurrency (run the tests with
+// -race), and the reference model the machine is tested against.
+package para
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"ultracomputer/internal/msg"
+)
+
+// shardCount spreads cells over locks; a power of two.
+const shardCount = 64
+
+// Memory is a paracomputer central memory. The zero value is not usable;
+// call NewMemory.
+type Memory struct {
+	shards [shardCount]shard
+}
+
+type shard struct {
+	mu    sync.Mutex
+	words map[int64]int64
+}
+
+// NewMemory returns an empty memory; every cell reads as zero.
+func NewMemory() *Memory {
+	m := &Memory{}
+	for i := range m.shards {
+		m.shards[i].words = make(map[int64]int64)
+	}
+	return m
+}
+
+func (m *Memory) shardFor(a int64) *shard {
+	// Multiplicative spreading so contiguous addresses use different
+	// locks.
+	x := uint64(a) * 0x9e3779b97f4a7c15
+	return &m.shards[(x>>32)&(shardCount-1)]
+}
+
+// FetchOp atomically applies a fetch-and-phi operation and returns the
+// fetched (old) value. Simultaneous FetchOps on one cell serialize — the
+// serialization principle holds by construction.
+func (m *Memory) FetchOp(op msg.Op, a, operand int64) int64 {
+	s := m.shardFor(a)
+	s.mu.Lock()
+	old := s.words[a]
+	newVal, ret := msg.Apply(op, old, operand)
+	if newVal != old {
+		s.words[a] = newVal
+	}
+	s.mu.Unlock()
+	return ret
+}
+
+// Load reads cell a.
+func (m *Memory) Load(a int64) int64 { return m.FetchOp(msg.Load, a, 0) }
+
+// Store writes cell a.
+func (m *Memory) Store(a, v int64) { m.FetchOp(msg.Store, a, v) }
+
+// FetchAdd atomically adds e to cell a, returning the old value (§2.2).
+func (m *Memory) FetchAdd(a, e int64) int64 { return m.FetchOp(msg.FetchAdd, a, e) }
+
+// Swap atomically exchanges v with cell a (§2.4).
+func (m *Memory) Swap(a, v int64) int64 { return m.FetchOp(msg.Swap, a, v) }
+
+// TestAndSet sets the low bit of cell a, reporting its previous state
+// (fetch-and-or, §2.4).
+func (m *Memory) TestAndSet(a int64) bool { return m.FetchOp(msg.FetchOr, a, 1)&1 != 0 }
+
+// LoadF reads cell a as a float64 (IEEE bits convention shared with the
+// machine simulator).
+func (m *Memory) LoadF(a int64) float64 { return math.Float64frombits(uint64(m.Load(a))) }
+
+// StoreF writes a float64 into cell a.
+func (m *Memory) StoreF(a int64, v float64) { m.Store(a, int64(math.Float64bits(v))) }
+
+// FetchAddF atomically adds e to cell a interpreted as float64, returning
+// the old value — a fetch-and-phi with phi = IEEE addition, legal because
+// the model admits any associative (here approximately associative) phi.
+func (m *Memory) FetchAddF(a int64, e float64) float64 {
+	s := m.shardFor(a)
+	s.mu.Lock()
+	old := math.Float64frombits(uint64(s.words[a]))
+	s.words[a] = int64(math.Float64bits(old + e))
+	s.mu.Unlock()
+	return old
+}
+
+// Pause yields the processor inside a busy-wait loop. On the ideal
+// paracomputer this costs nothing; it keeps host scheduling fair.
+func (m *Memory) Pause() { runtime.Gosched() }
+
+// Fence is a no-op: every paracomputer operation completes in one cycle,
+// so there is never an outstanding store to drain.
+func (m *Memory) Fence() {}
+
+// Run executes prog on p paracomputer PEs (goroutines) against this
+// memory and waits for all of them.
+func (m *Memory) Run(p int, prog func(pe int)) {
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		go func(pe int) {
+			defer wg.Done()
+			prog(pe)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,147 @@
+package para
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ultracomputer/internal/msg"
+)
+
+func TestLoadStoreBasics(t *testing.T) {
+	m := NewMemory()
+	if m.Load(42) != 0 {
+		t.Fatal("fresh cell not zero")
+	}
+	m.Store(42, 7)
+	if m.Load(42) != 7 {
+		t.Fatal("store lost")
+	}
+	m.StoreF(43, 2.5)
+	if m.LoadF(43) != 2.5 {
+		t.Fatal("float round trip failed")
+	}
+}
+
+// TestConcurrentFetchAddSerializes is the §2.2 semantics under real
+// concurrency: concurrent F&As yield the appropriate total increment and
+// pairwise-distinct intermediate values.
+func TestConcurrentFetchAddSerializes(t *testing.T) {
+	m := NewMemory()
+	const p, per = 32, 200
+	results := make([][]int64, p)
+	m.Run(p, func(pe int) {
+		for i := 0; i < per; i++ {
+			results[pe] = append(results[pe], m.FetchAdd(0, 1))
+		}
+	})
+	if got := m.Load(0); got != p*per {
+		t.Fatalf("total = %d, want %d", got, p*per)
+	}
+	seen := make(map[int64]bool, p*per)
+	for _, rs := range results {
+		for _, v := range rs {
+			if v < 0 || v >= p*per || seen[v] {
+				t.Fatalf("ticket %d duplicated or out of range", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSwapAndTestAndSet(t *testing.T) {
+	m := NewMemory()
+	m.Store(5, 10)
+	if old := m.Swap(5, 20); old != 10 || m.Load(5) != 20 {
+		t.Fatalf("swap: old=%d cell=%d", old, m.Load(5))
+	}
+	if m.TestAndSet(6) {
+		t.Fatal("first TAS reported set")
+	}
+	if !m.TestAndSet(6) {
+		t.Fatal("second TAS reported clear")
+	}
+}
+
+// TestTestAndSetMutualExclusion uses TAS as a lock under -race: the
+// guarded counter must equal the number of critical sections.
+func TestTestAndSetMutualExclusion(t *testing.T) {
+	m := NewMemory()
+	const p, per = 16, 100
+	counter := 0 // plain Go int: only safe if the lock works
+	m.Run(p, func(pe int) {
+		for i := 0; i < per; i++ {
+			for m.TestAndSet(0) {
+				m.Pause()
+			}
+			counter++
+			m.Store(0, 0)
+		}
+	})
+	if counter != p*per {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", counter, p*per)
+	}
+}
+
+func TestFetchAddF(t *testing.T) {
+	m := NewMemory()
+	const p = 8
+	m.Run(p, func(pe int) {
+		m.FetchAddF(9, 0.5)
+	})
+	if got := m.LoadF(9); got != 4.0 {
+		t.Fatalf("float accumulate = %v, want 4.0", got)
+	}
+}
+
+// TestFetchOpAgainstApply cross-checks Memory.FetchOp with the msg.Apply
+// reference for all operations.
+func TestFetchOpAgainstApply(t *testing.T) {
+	ops := []msg.Op{msg.Load, msg.Store, msg.FetchAdd, msg.FetchAnd,
+		msg.FetchOr, msg.FetchMax, msg.FetchMin, msg.Swap}
+	f := func(opIdx uint8, init, operand int64) bool {
+		op := ops[int(opIdx)%len(ops)]
+		m := NewMemory()
+		m.Store(1, init)
+		got := m.FetchOp(op, 1, operand)
+		wantNew, wantRet := msg.Apply(op, init, operand)
+		if op == msg.Store {
+			return m.Load(1) == wantNew
+		}
+		return got == wantRet && m.Load(1) == wantNew
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunWaitsForAll checks Run joins every goroutine.
+func TestRunWaitsForAll(t *testing.T) {
+	m := NewMemory()
+	var mu sync.Mutex
+	done := 0
+	m.Run(50, func(pe int) {
+		mu.Lock()
+		done++
+		mu.Unlock()
+	})
+	if done != 50 {
+		t.Fatalf("done = %d, want 50", done)
+	}
+}
+
+// TestShardingIndependence verifies adjacent addresses do not interfere.
+func TestShardingIndependence(t *testing.T) {
+	m := NewMemory()
+	const p = 16
+	m.Run(p, func(pe int) {
+		for i := 0; i < 100; i++ {
+			m.FetchAdd(int64(pe), 1)
+		}
+	})
+	for pe := int64(0); pe < p; pe++ {
+		if got := m.Load(pe); got != 100 {
+			t.Fatalf("cell %d = %d, want 100", pe, got)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package pe models the Ultracomputer's processing elements and their
+// processor-network interfaces (PNIs, §3.4/§3.5).
+//
+// A PE couples a Core — the instruction-executing part, either the mini
+// ISA interpreter in internal/isa or a goroutine-backed program (GoCore)
+// — to a PNI that translates linear shared addresses to (module, word)
+// pairs via hashing, assigns network-unique request IDs, enforces the
+// pipelining restrictions (at most one outstanding reference per memory
+// location, bounded outstanding requests), and matches replies back to
+// the core.
+//
+// The paper's PEs continue executing past an outstanding load, marking
+// the target register locked (§3.5); cores express that by issuing
+// requests with tags and stalling only when a locked value is consumed.
+package pe
+
+import (
+	"fmt"
+
+	"ultracomputer/internal/memory"
+	"ultracomputer/internal/msg"
+	"ultracomputer/internal/sim"
+)
+
+// TickResult reports what a core did with one processor cycle.
+type TickResult struct {
+	// Executed is true when an instruction completed this cycle; false
+	// means the cycle was lost waiting (a locked register was consumed,
+	// or the PNI refused an issue).
+	Executed bool
+	// LocalRef marks an executed instruction that referenced local
+	// (private, cache-resident) memory.
+	LocalRef bool
+	// Halted means the core has finished; it will not execute again.
+	Halted bool
+}
+
+// Core is the instruction-executing part of a PE.
+type Core interface {
+	// Tick gives the core one processor cycle. The core may call
+	// env.Issue at most a few times (retrying is allowed) and reports
+	// what happened.
+	Tick(env *Env) TickResult
+	// Complete delivers the result of a shared-memory request
+	// previously issued with the given tag.
+	Complete(tag int, value int64)
+}
+
+// Stats aggregates one PE's activity, feeding Table 1's columns.
+type Stats struct {
+	Instructions sim.Counter    // instructions executed
+	IdleCycles   sim.Counter    // cycles lost waiting
+	LocalRefs    sim.Counter    // private-memory references (cache-satisfied)
+	SharedRefs   sim.Counter    // shared-memory requests issued
+	SharedLoads  sim.Counter    // value-returning shared requests (CM loads)
+	CMWait       sim.Mean       // per-request issue-to-complete time (PE cycles)
+	CMWaitHist   *sim.Histogram // full access-time distribution
+}
+
+// PE is one processing element.
+type PE struct {
+	id     int
+	core   Core
+	pni    *PNI
+	stats  Stats
+	halted bool
+}
+
+// New builds a PE around core with a PNI that hashes addresses with h and
+// injects into the network via inject. maxOutstanding bounds concurrent
+// shared requests (the paper's register-locking design allows several).
+func New(id int, core Core, h memory.Hasher, inject func(msg.Request) bool, maxOutstanding int) *PE {
+	p := &PE{
+		id:   id,
+		core: core,
+		pni:  newPNI(id, h, inject, maxOutstanding),
+	}
+	p.stats.CMWaitHist = sim.NewHistogram(256)
+	return p
+}
+
+// ID reports the PE number.
+func (p *PE) ID() int { return p.id }
+
+// Stats exposes the PE's counters.
+func (p *PE) Stats() *Stats { return &p.stats }
+
+// PNI exposes the network interface (for tests and the machine).
+func (p *PE) PNI() *PNI { return p.pni }
+
+// Halted reports whether the core has finished.
+func (p *PE) Halted() bool { return p.halted }
+
+// Drained reports whether the PE has no outstanding shared requests.
+func (p *PE) Drained() bool { return p.pni.Outstanding() == 0 }
+
+// Tick runs one processor cycle.
+func (p *PE) Tick(cycle int64, npe int) {
+	if p.halted {
+		return
+	}
+	env := Env{pe: p, cycle: cycle, npe: npe}
+	r := p.core.Tick(&env)
+	switch {
+	case r.Halted:
+		p.halted = true
+	case r.Executed:
+		p.stats.Instructions.Inc()
+		if r.LocalRef {
+			p.stats.LocalRefs.Inc()
+		}
+	default:
+		p.stats.IdleCycles.Inc()
+	}
+}
+
+// Deliver routes a network reply to the core, recording the round trip in
+// PE cycles.
+func (p *PE) Deliver(rep msg.Reply, cycle int64) {
+	tag, issuedAt, ok := p.pni.complete(rep)
+	if !ok {
+		panic(fmt.Sprintf("pe %d: reply %v matches no outstanding request", p.id, rep))
+	}
+	p.stats.CMWait.Observe(float64(cycle - issuedAt))
+	p.stats.CMWaitHist.Observe(cycle - issuedAt)
+	if tag >= 0 {
+		p.core.Complete(tag, rep.Value)
+	}
+}
+
+// Env is the per-tick view a core has of its PE.
+type Env struct {
+	pe    *PE
+	cycle int64
+	npe   int
+	// tagShift offsets completion tags; MultiCore uses it to give each
+	// hardware-multiprogrammed stream a disjoint tag range.
+	tagShift int
+}
+
+// PEID reports the PE number.
+func (e *Env) PEID() int { return e.pe.id }
+
+// NumPE reports the machine's PE count.
+func (e *Env) NumPE() int { return e.npe }
+
+// Cycle reports the current processor cycle.
+func (e *Env) Cycle() int64 { return e.cycle }
+
+// Issue offers a shared-memory request to the PNI. tag identifies the
+// destination for the returned value (tag < 0: no completion callback is
+// wanted, e.g. for stores). It reports false when the PNI cannot accept
+// the request this cycle — the pipelining restrictions forbid it or the
+// network is full — and the core must retry.
+func (e *Env) Issue(op msg.Op, addr int64, operand int64, tag int) bool {
+	if tag >= 0 {
+		tag += e.tagShift
+	}
+	ok := e.pe.pni.issue(op, addr, operand, tag, e.cycle)
+	if ok {
+		e.pe.stats.SharedRefs.Inc()
+		if op.ReturnsValue() {
+			e.pe.stats.SharedLoads.Inc()
+		}
+	}
+	return ok
+}
+
+// CanIssue reports whether a request to addr could be accepted by the
+// pipelining rules right now (it does not probe network space).
+func (e *Env) CanIssue(addr int64) bool { return e.pe.pni.canIssue(addr) }
+
+// Pending reports how many of this PE's shared-memory requests are still
+// outstanding (stores awaiting acknowledgement included).
+func (e *Env) Pending() int { return e.pe.pni.Outstanding() }

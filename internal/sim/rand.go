@@ -1,0 +1,66 @@
+package sim
+
+// Rand is a small, fast, deterministic pseudo-random number generator
+// (splitmix64 seeding an xorshift128+ core). Each simulated component may
+// own a private Rand so that results do not depend on the order in which
+// components consume randomness.
+type Rand struct {
+	s0, s1 uint64
+}
+
+// NewRand returns a generator seeded from the given seed. Two generators
+// with the same seed yield identical sequences.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from seed using splitmix64 so that even
+// adjacent seeds produce uncorrelated streams.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1 // xorshift state must be nonzero
+	}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p.
+func (r *Rand) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// Fork derives an independent generator, useful for giving each component
+// its own stream from a single top-level seed.
+func (r *Rand) Fork() *Rand { return NewRand(r.Uint64()) }
