@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench-guard trace-smoke clean
+
+ci: vet build race test bench-guard
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The lock-free coordination layers run under the race detector: their
+# correctness claims depend on the memory model, not just determinism.
+race:
+	$(GO) test -race ./internal/para/... ./internal/coord/...
+
+test:
+	$(GO) test ./...
+
+# Guard the observability contract: a disabled (nil) probe must add zero
+# allocations to the hot paths, and an enabled ring recorder must not
+# allocate per event.
+bench-guard:
+	$(GO) test ./internal/obs/ -run 'ZeroAlloc' -count=1 -v
+
+# End-to-end smoke: produce a Chrome trace and a metrics series from the
+# shipped examples (outputs land in /tmp).
+trace-smoke: build
+	$(GO) run ./cmd/ultrasim -pes 8 -trace /tmp/ultrasim-trace.json \
+		-metrics /tmp/ultrasim-metrics.jsonl examples/asm/queue.s
+	$(GO) run ./cmd/netperf -simports 64 -hot 0.05 -rate 0.2 \
+		-metrics /tmp/netperf-hotspot.jsonl
+
+clean:
+	rm -f /tmp/ultrasim-trace.json /tmp/ultrasim-metrics.jsonl /tmp/netperf-hotspot.jsonl

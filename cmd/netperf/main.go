@@ -15,10 +15,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ultracomputer/internal/analytic"
 	"ultracomputer/internal/network"
+	"ultracomputer/internal/obs"
 	"ultracomputer/internal/sim"
 	"ultracomputer/internal/trace"
 )
@@ -31,7 +33,21 @@ func main() {
 	simPorts := flag.Int("simports", 64, "simulated machine size (power of the switch radix)")
 	plot := flag.Bool("plot", false, "render the curves as an ASCII chart")
 	csvOut := flag.String("csv", "", "write the curves as CSV to this file (- for stdout)")
+	traceOut := flag.String("trace", "", "run one instrumented simulation and write a Chrome trace_event JSON to this file")
+	metricsOut := flag.String("metrics", "", "run one instrumented simulation and write sampled per-stage metrics as JSONL to this file")
+	sampleEvery := flag.Int64("sample-every", 64, "network cycles between metrics samples")
+	hot := flag.Float64("hot", 0, "fraction of the instrumented run's traffic aimed at a single hot word (§3.1.2 hot spot)")
+	rate := flag.Float64("rate", 0.25, "traffic intensity of the instrumented run (requests per PE per cycle)")
+	combining := flag.Bool("combining", true, "combine requests in the instrumented run (disable to expose raw tree saturation)")
 	flag.Parse()
+
+	if *traceOut != "" || *metricsOut != "" {
+		if err := observe(*traceOut, *metricsOut, *sampleEvery, *simPorts, *rate, *hot, *combining); err != nil {
+			fmt.Fprintln(os.Stderr, "netperf:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *csvOut != "" {
 		if err := writeCSV(*csvOut, *n, *maxP, *points); err != nil {
@@ -64,6 +80,63 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// observe drives one simulated run under synthetic traffic with the
+// event probe and metrics sampler attached, then writes the requested
+// trace and metrics files. With -hot, tree saturation toward the hot
+// module shows up in the per-stage occupancy series.
+func observe(tracePath, metricsPath string, every int64, ports int, rate, hot float64, combining bool) error {
+	const k = 2
+	stages := 0
+	for n := 1; n < ports; n *= k {
+		stages++
+	}
+	cfg := network.Config{K: k, Stages: stages, Combining: combining}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	w := trace.Workload{Rate: rate, Hash: true, HotFraction: hot, HotWord: 0, Seed: 17}
+	var rec *obs.Recorder
+	if tracePath != "" {
+		rec = obs.NewRecorder(obs.DefaultRecorderCapacity)
+		w.Probe = rec
+	}
+	var sampler *obs.Sampler
+	if metricsPath != "" {
+		sampler = obs.NewSampler(every)
+		w.Sampler = sampler
+	}
+	r := trace.Run(cfg, w, 1000, 8000)
+	fmt.Printf("instrumented run: %d ports, %d stages, rate=%.3f hot=%.2f\n  %s\n",
+		cfg.Ports(), stages, rate, hot, r)
+	if rec != nil {
+		if err := writeFile(tracePath, func(f io.Writer) error {
+			return obs.WriteChromeTrace(f, rec.Events())
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events)\n", tracePath, rec.Len())
+	}
+	if sampler != nil {
+		if err := writeFile(metricsPath, sampler.WriteJSONL); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d samples)\n%s", metricsPath, len(sampler.Snapshots()), sampler.Summary())
+	}
+	return nil
+}
+
+func writeFile(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCSV emits one row per (config, p) point: config, p, T.

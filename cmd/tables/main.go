@@ -10,8 +10,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 
 	"ultracomputer/internal/analytic"
 	"ultracomputer/internal/experiments"
@@ -20,25 +22,52 @@ import (
 func main() {
 	table := flag.Int("table", 0, "which table to regenerate (1, 2, 3; 0 = all)")
 	quick := flag.Bool("quick", false, "smaller problem sizes for a fast run")
+	jsonOut := flag.Bool("json", false, "emit Table 1 as JSON machine reports instead of the formatted table")
 	flag.Parse()
 
 	if *table == 0 || *table == 1 {
-		runTable1(*quick)
+		runTable1(*quick, *jsonOut)
 	}
 	if *table == 0 || *table == 2 || *table == 3 {
 		runTables23(*quick, *table)
 	}
 }
 
-func runTable1(quick bool) {
+func runTable1(quick, jsonOut bool) {
 	sizes := experiments.DefaultTable1Sizes
 	if quick {
 		sizes = experiments.QuickTable1Sizes
 	}
-	fmt.Println("Table 1. Network Traffic and Performance")
-	fmt.Println("(time unit: PE instruction time; paper values in the row below each program)")
-	fmt.Println()
+	if !jsonOut {
+		fmt.Println("Table 1. Network Traffic and Performance")
+		fmt.Println("(time unit: PE instruction time; paper values in the row below each program)")
+		fmt.Println()
+	}
 	rows := experiments.Table1(sizes, 0)
+	if jsonOut {
+		// Each report serializes through machine.Report.JSON, the same
+		// path the metrics exporter uses.
+		type namedReport struct {
+			Name   string          `json:"name"`
+			Report json.RawMessage `json:"report"`
+		}
+		out := make([]namedReport, 0, len(rows))
+		for _, row := range rows {
+			b, err := row.Report.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(1)
+			}
+			out = append(out, namedReport{Name: row.Name, Report: b})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Print(experiments.FormatTable1(rows))
 	fmt.Println()
 }

@@ -21,6 +21,7 @@ import (
 	"ultracomputer/internal/isa"
 	"ultracomputer/internal/machine"
 	"ultracomputer/internal/network"
+	"ultracomputer/internal/obs"
 	"ultracomputer/internal/pe"
 )
 
@@ -36,6 +37,9 @@ func main() {
 	regs := flag.String("reg", "", "comma-separated integer registers to print per PE")
 	topo := flag.Bool("topo", false, "print the network wiring (the paper's Figure 2) and exit")
 	disasm := flag.Bool("disasm", false, "print the assembled program's disassembly and exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in Perfetto)")
+	metricsOut := flag.String("metrics", "", "write sampled per-stage metrics as JSONL to this file")
+	sampleEvery := flag.Int64("sample-every", 64, "network cycles between metrics samples")
 	flag.Parse()
 
 	if *topo {
@@ -72,12 +76,39 @@ func main() {
 		cores[i] = isaCores[i]
 	}
 	m := machine.New(cfg, cores)
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder(obs.DefaultRecorderCapacity)
+		m.SetProbe(rec)
+	}
+	var sampler *obs.Sampler
+	if *metricsOut != "" {
+		sampler = obs.NewSampler(*sampleEvery)
+		m.SetSampler(sampler)
+	}
 	cycles, done := m.Run(*limit)
 	if !done {
 		fmt.Fprintf(os.Stderr, "warning: cycle limit reached before all PEs halted\n")
 	}
 	fmt.Printf("ran %d PE cycles (%d network cycles)\n\n", cycles, m.Cycles())
 	fmt.Print(m.Report().String())
+
+	if rec != nil {
+		if err := writeTrace(*traceOut, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events", *traceOut, rec.Len())
+		if d := rec.Overwritten(); d > 0 {
+			fmt.Printf("; ring dropped the oldest %d", d)
+		}
+		fmt.Println(")")
+	}
+	if sampler != nil {
+		if err := writeMetrics(*metricsOut, sampler); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d samples)\n", *metricsOut, len(sampler.Snapshots()))
+	}
 
 	if *dump != "" {
 		lo, hi, err := parseRange(*dump)
@@ -101,6 +132,30 @@ func main() {
 			}
 		}
 	}
+}
+
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, rec.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeMetrics(path string, s *obs.Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseRange(s string) (lo, hi int64, err error) {

@@ -6,28 +6,42 @@
 // disabled shows the serial bottleneck the design eliminates.
 //
 //	go run ./examples/hotspot
+//	go run ./examples/hotspot -trace hotspot.json -metrics hotspot.jsonl
+//
+// With -trace, the combining run is recorded and exported as a Chrome
+// trace_event file (open in https://ui.perfetto.dev): each memory-module
+// service span's "serves" argument lists every origin request it
+// answered, the combining tree made visible.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"ultracomputer/internal/machine"
 	"ultracomputer/internal/network"
+	"ultracomputer/internal/obs"
 	"ultracomputer/internal/pe"
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the combining run to this file")
+	metricsOut := flag.String("metrics", "", "write sampled per-stage metrics of the combining run as JSONL to this file")
+	sampleEvery := flag.Int64("sample-every", 16, "network cycles between metrics samples")
+	flag.Parse()
+
 	const rounds = 32
 	fmt.Println("64 PEs performing fetch-and-adds on ONE shared cell")
 	fmt.Printf("%-14s %12s %14s %12s %12s\n",
 		"switches", "PE cycles", "CM access", "combines", "MM ops")
-	run(true, rounds)
-	run(false, rounds)
+	run(true, rounds, *traceOut, *metricsOut, *sampleEvery)
+	run(false, rounds, "", "", 0)
 	fmt.Println("\ncombining turns a serial hot spot into logarithmic fan-in:")
 	fmt.Println("memory serves far fewer operations and latency stays flat.")
 }
 
-func run(combining bool, rounds int) {
+func run(combining bool, rounds int, traceOut, metricsOut string, sampleEvery int64) {
 	cfg := machine.Config{
 		Net:     network.Config{K: 2, Stages: 6, Combining: combining},
 		Hashing: true,
@@ -37,6 +51,16 @@ func run(combining bool, rounds int) {
 			ctx.FetchAdd(7, 1)
 		}
 	})
+	var rec *obs.Recorder
+	if traceOut != "" {
+		rec = obs.NewRecorder(obs.DefaultRecorderCapacity)
+		m.SetProbe(rec)
+	}
+	var sampler *obs.Sampler
+	if metricsOut != "" {
+		sampler = obs.NewSampler(sampleEvery)
+		m.SetSampler(sampler)
+	}
 	cycles := m.MustRun(100_000_000)
 	if got := m.ReadShared(7); got != 64*int64(rounds) {
 		panic(fmt.Sprintf("counter = %d, want %d", got, 64*rounds))
@@ -48,4 +72,25 @@ func run(combining bool, rounds int) {
 	}
 	fmt.Printf("%-14s %12d %11.1f ins %12d %12d\n",
 		name, cycles, r.AvgCMAccess, r.Combines, r.MMOpsServed)
+
+	if rec != nil {
+		f, err := os.Create(traceOut)
+		check(err)
+		check(obs.WriteChromeTrace(f, rec.Events()))
+		check(f.Close())
+		fmt.Printf("wrote %s (%d events)\n", traceOut, rec.Len())
+	}
+	if sampler != nil {
+		f, err := os.Create(metricsOut)
+		check(err)
+		check(sampler.WriteJSONL(f))
+		check(f.Close())
+		fmt.Printf("wrote %s (%d samples)\n", metricsOut, len(sampler.Snapshots()))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

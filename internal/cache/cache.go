@@ -13,6 +13,7 @@ package cache
 import (
 	"fmt"
 
+	"ultracomputer/internal/obs"
 	"ultracomputer/internal/sim"
 )
 
@@ -74,6 +75,26 @@ type Cache struct {
 	sets  [][]line
 	clock int64
 	stats Stats
+
+	probe   obs.Probe
+	probePE int
+}
+
+// SetProbe attaches an event probe emitting hit/miss/write-back events
+// attributed to PE pe. The cache is a timing-free functional model, so
+// its events carry Cycle = -1; recorders preserve their order relative
+// to the surrounding timed events.
+func (c *Cache) SetProbe(p obs.Probe, pe int) {
+	c.probe = p
+	c.probePE = pe
+}
+
+// emit records one cache event for linear address a.
+func (c *Cache) emit(k obs.Kind, a int64) {
+	c.probe.Emit(obs.Event{
+		Cycle: -1, Kind: k, PE: c.probePE, Stage: -1, MM: -1, Copy: -1,
+		Value: a,
+	})
 }
 
 // New builds a cache; it panics on an invalid configuration.
@@ -126,9 +147,15 @@ func (c *Cache) Read(a int64) (v int64, hit bool) {
 	if l := c.find(set, tag); l != nil {
 		l.lru = c.clock
 		c.stats.Hits.Inc()
+		if c.probe != nil {
+			c.emit(obs.KindCacheHit, a)
+		}
 		return l.words[off], true
 	}
 	c.stats.Misses.Inc()
+	if c.probe != nil {
+		c.emit(obs.KindCacheMiss, a)
+	}
 	return 0, false
 }
 
@@ -143,9 +170,15 @@ func (c *Cache) Write(a, v int64) (hit bool) {
 		l.words[off] = v
 		l.dirty[off] = true
 		c.stats.Hits.Inc()
+		if c.probe != nil {
+			c.emit(obs.KindCacheHit, a)
+		}
 		return true
 	}
 	c.stats.Misses.Inc()
+	if c.probe != nil {
+		c.emit(obs.KindCacheMiss, a)
+	}
 	return false
 }
 
@@ -205,6 +238,9 @@ func (c *Cache) evict(l *line, set int) []WriteBack {
 		if d {
 			wbs = append(wbs, WriteBack{Addr: base + int64(i), Value: l.words[i]})
 			c.stats.WriteBacks.Inc()
+			if c.probe != nil {
+				c.emit(obs.KindCacheWriteBack, base+int64(i))
+			}
 		}
 	}
 	l.valid = false
@@ -237,6 +273,9 @@ func (c *Cache) Flush(lo, hi int64) []WriteBack {
 				l.dirty[i] = false
 				c.stats.WriteBacks.Inc()
 				touched = true
+				if c.probe != nil {
+					c.emit(obs.KindCacheWriteBack, base+int64(i))
+				}
 			}
 		}
 		if touched {

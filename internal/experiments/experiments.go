@@ -40,6 +40,11 @@ type Table1Row struct {
 	IdlePerCMLoad     float64
 	MemRefPerInstr    float64
 	SharedRefPerInstr float64
+
+	// Report carries the full machine report behind the row's five
+	// columns (quantiles, stall attribution, network totals) for JSON
+	// export.
+	Report machine.Report
 }
 
 // Table1Sizes controls the problem sizes (kept moderate so full-machine
@@ -110,6 +115,7 @@ func toRow(name string, pes int, r machine.Report) Table1Row {
 		IdlePerCMLoad:     r.IdlePerCMLoad,
 		MemRefPerInstr:    r.MemRefPerInstr,
 		SharedRefPerInstr: r.SharedRefPerInstr,
+		Report:            r,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"ultracomputer/internal/cache"
 	"ultracomputer/internal/msg"
+	"ultracomputer/internal/obs"
 	"ultracomputer/internal/pe"
 )
 
@@ -52,6 +53,14 @@ func (c *Core) Cache() *cache.Cache {
 		return nil
 	}
 	return c.cc.c
+}
+
+// SetProbe forwards the PE's event probe to the core's cache, if any
+// (called by pe.PE.SetProbe).
+func (c *Core) SetProbe(p obs.Probe, pe int) {
+	if c.cc != nil {
+		c.cc.c.SetProbe(p, pe)
+	}
 }
 
 // tickCache advances cache microcode; it returns a TickResult and true

@@ -12,6 +12,7 @@ import (
 	"ultracomputer/internal/memory"
 	"ultracomputer/internal/msg"
 	"ultracomputer/internal/network"
+	"ultracomputer/internal/obs"
 	"ultracomputer/internal/pe"
 )
 
@@ -69,6 +70,8 @@ type Machine struct {
 
 	cycle    int64 // network cycles elapsed
 	peCycles int64 // PE cycles elapsed
+
+	sampler *obs.Sampler
 
 	// idealPending holds replies generated under IdealMemory during
 	// this cycle, delivered at the start of the next (one-cycle
@@ -155,6 +158,26 @@ func SPMD(cfg Config, n int, prog pe.Program) *Machine {
 	return NewPrograms(cfg, progs)
 }
 
+// SetProbe attaches an event probe to every layer of the machine:
+// network injection/hops/combining, memory-module service, PE stalls,
+// and any caches the programs attach. Call before the first Step. A nil
+// probe (the default) costs nothing on the hot paths.
+func (m *Machine) SetProbe(p obs.Probe) {
+	m.net.SetProbe(p)
+	m.bank.SetProbe(p)
+	for _, pp := range m.pes {
+		pp.SetProbe(p, m.cfg.PECycle)
+	}
+}
+
+// SetSampler attaches a metrics sampler; every Sampler.Every network
+// cycles Step records a snapshot of queue occupancy, combining and MM
+// utilization. Call before the first Step.
+func (m *Machine) SetSampler(s *obs.Sampler) { m.sampler = s }
+
+// Sampler returns the attached sampler, or nil.
+func (m *Machine) Sampler() *obs.Sampler { return m.sampler }
+
 // Net exposes the interconnect (for statistics).
 func (m *Machine) Net() *network.Network { return m.net }
 
@@ -210,6 +233,11 @@ func (m *Machine) Step() {
 			p.Tick(m.peCycles, len(m.pes))
 		}
 		m.peCycles++
+	}
+	if m.sampler != nil && m.sampler.Due(m.cycle) {
+		sn := m.net.Snapshot(m.cycle)
+		m.bank.Observe(&sn)
+		m.sampler.Record(sn)
 	}
 	m.cycle++
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"ultracomputer/internal/msg"
+	"ultracomputer/internal/obs"
 	"ultracomputer/internal/sim"
 )
 
@@ -40,6 +41,19 @@ type Module struct {
 	// through a combining network shows Served far below the number of
 	// requests issued.
 	Served sim.Counter
+
+	probe obs.Probe
+}
+
+// SetProbe attaches an event probe (nil detaches; the default).
+func (m *Module) SetProbe(p obs.Probe) { m.probe = p }
+
+// emitBegin records the start of one MNI service.
+func (m *Module) emitBegin(r msg.Request, cycle int64) {
+	m.probe.Emit(obs.Event{
+		Cycle: cycle, Kind: obs.KindMNIBegin, PE: r.PE, Stage: -1,
+		MM: m.id, Copy: -1, ID: r.ID, Op: r.Op, Addr: r.Addr,
+	})
 }
 
 // NewModule returns module id with the given access latency in cycles
@@ -75,6 +89,9 @@ func (m *Module) Accept(r msg.Request, cycle int64) {
 	m.busy = true
 	m.current = r
 	m.busyUntil = cycle + m.latency
+	if m.probe != nil {
+		m.emitBegin(r, cycle)
+	}
 }
 
 // Step advances the module one cycle against its network port: it first
@@ -98,6 +115,13 @@ func (m *Module) Step(cycle int64, port Port) {
 		m.words[r.Addr.Word] = newVal
 		m.Served.Inc()
 		m.busy = false
+		if m.probe != nil {
+			m.probe.Emit(obs.Event{
+				Cycle: cycle, Kind: obs.KindMNIServe, PE: r.PE, Stage: -1,
+				MM: m.id, Copy: -1, ID: r.ID, Op: r.Op, Addr: r.Addr,
+				Value: ret,
+			})
+		}
 		rep := msg.Reply{ID: r.ID, PE: r.PE, Op: r.Op, Addr: r.Addr, Value: ret}
 		if !port.Reply(rep) {
 			m.pending = &rep
@@ -109,6 +133,9 @@ func (m *Module) Step(cycle int64, port Port) {
 			m.busy = true
 			m.current = r
 			m.busyUntil = cycle + m.latency
+			if m.probe != nil {
+				m.emitBegin(r, cycle)
+			}
 		}
 	}
 }
@@ -149,6 +176,28 @@ func (b *Bank) TotalServed() int64 {
 		t += m.Served.Value()
 	}
 	return t
+}
+
+// SetProbe attaches an event probe to every module.
+func (b *Bank) SetProbe(p obs.Probe) {
+	for _, m := range b.Modules {
+		m.SetProbe(p)
+	}
+}
+
+// Observe fills the memory side of a periodic metrics snapshot: the
+// fraction of modules mid-access and the cumulative served count.
+func (b *Bank) Observe(sn *obs.Snapshot) {
+	busy := 0
+	for _, m := range b.Modules {
+		if !m.Idle() {
+			busy++
+		}
+	}
+	if len(b.Modules) > 0 {
+		sn.MMBusyFrac = float64(busy) / float64(len(b.Modules))
+	}
+	sn.MMServed = b.TotalServed()
 }
 
 // Idle reports whether every module is idle.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ultracomputer/internal/msg"
+	"ultracomputer/internal/obs"
 	"ultracomputer/internal/sim"
 )
 
@@ -56,6 +57,17 @@ type Network struct {
 	issued map[uint64]int64 // in-flight request ID -> inject cycle
 	dead   []bool           // fail-stopped copies (no new requests)
 	stats  Stats
+	probe  obs.Probe
+}
+
+// SetProbe attaches an event probe to the network and all its copies;
+// nil detaches it (the default — a detached probe costs one nil check).
+func (n *Network) SetProbe(p obs.Probe) {
+	n.probe = p
+	for i, c := range n.copies {
+		c.probe = p
+		c.copyIdx = i
+	}
 }
 
 // New builds a network from cfg. It panics on an invalid configuration
@@ -129,6 +141,13 @@ func (n *Network) Inject(pe int, r msg.Request, cycle int64) bool {
 			n.via[r.ID] = ci
 			n.issued[r.ID] = cycle
 			n.stats.Injected.Inc()
+			if n.probe != nil {
+				n.probe.Emit(obs.Event{
+					Cycle: cycle, Kind: obs.KindInject, PE: pe, Stage: -1,
+					MM: r.Addr.MM, Copy: ci, ID: r.ID, Op: r.Op, Addr: r.Addr,
+					Value: r.Operand,
+				})
+			}
 			return true
 		}
 	}
@@ -196,6 +215,13 @@ func (n *Network) Collect(pe int, cycle int64) []msg.Reply {
 			delete(n.issued, rep.ID)
 		}
 		n.stats.RepliesDelivered.Inc()
+		if n.probe != nil {
+			n.probe.Emit(obs.Event{
+				Cycle: cycle, Kind: obs.KindReplyDeliver, PE: pe, Stage: -1,
+				MM: -1, Copy: -1, ID: rep.ID, Op: rep.Op, Addr: rep.Addr,
+				Value: rep.Value,
+			})
+		}
 	}
 	return out
 }
@@ -211,6 +237,49 @@ func (n *Network) SampleQueues(h *sim.Histogram) {
 			}
 		}
 	}
+}
+
+// Snapshot captures the network side of one obs.Snapshot at cycle:
+// per-stage ToMM and ToPE queue occupancy (summed over copies, stage 0
+// nearest the PEs) and the cumulative traffic counters. Memory-side
+// fields are filled by the bank (memory.Bank.Observe).
+func (n *Network) Snapshot(cycle int64) obs.Snapshot {
+	stages := n.cfg.Stages
+	sn := obs.Snapshot{
+		Cycle:             cycle,
+		StageQueuePackets: make([]int64, stages),
+		StageQueueOcc:     make([]float64, stages),
+		StageQueueMax:     make([]int64, stages),
+		StageReplyOcc:     make([]float64, stages),
+	}
+	replyPackets := make([]int64, stages)
+	var mmWaiting int
+	for _, c := range n.copies {
+		for s := 0; s < stages; s++ {
+			for _, q := range c.fq[s] {
+				occ := int64(q.occupancy())
+				sn.StageQueuePackets[s] += occ
+				if occ > sn.StageQueueMax[s] {
+					sn.StageQueueMax[s] = occ
+				}
+			}
+			for _, q := range c.rq[s] {
+				replyPackets[s] += int64(q.occupancy())
+			}
+		}
+		for _, q := range c.mmIn {
+			mmWaiting += q.len()
+		}
+	}
+	sn.MMPending = float64(mmWaiting) / float64(n.Ports())
+	queuesPerStage := float64(len(n.copies) * n.Ports())
+	for s := 0; s < stages; s++ {
+		sn.StageQueueOcc[s] = float64(sn.StageQueuePackets[s]) / queuesPerStage
+		sn.StageReplyOcc[s] = float64(replyPackets[s]) / queuesPerStage
+	}
+	sn.Injected = n.stats.Injected.Value()
+	sn.Combines = n.stats.Combines.Value()
+	return sn
 }
 
 // InFlight counts messages resident anywhere in the network, including

@@ -1,6 +1,9 @@
 package network
 
-import "ultracomputer/internal/msg"
+import (
+	"ultracomputer/internal/msg"
+	"ultracomputer/internal/obs"
+)
 
 // reqServer transmits one request across a link. A message of P packets
 // occupies the link for P cycles; its header is deliverable to the next
@@ -53,7 +56,9 @@ type copyNet struct {
 	// overrun; it drains as the ToPE queues empty toward the PEs.
 	revDefer [][]deferredReply
 
-	stats *Stats
+	stats   *Stats
+	probe   obs.Probe
+	copyIdx int
 }
 
 func newCopyNet(cfg Config, st *Stats) *copyNet {
@@ -99,7 +104,7 @@ func (c *copyNet) line(sw, port int) int { return sw*c.topo.k + port }
 // enqueueForward routes a request into the ToMM queue of stage s selected
 // by the destination digit, attempting combination first (§3.3). It
 // reports false when the request cannot be accepted this cycle.
-func (c *copyNet) enqueueForward(s, sw int, r msg.Request) bool {
+func (c *copyNet) enqueueForward(s, sw int, r msg.Request, cycle int64) bool {
 	port := c.topo.digit(r.Addr.MM, s)
 	idx := c.line(sw, port)
 	q := c.fq[s][idx]
@@ -118,6 +123,13 @@ func (c *copyNet) enqueueForward(s, sw int, r msg.Request) bool {
 					})
 					c.stats.Combines.Inc()
 					c.stats.combineAtStage(s)
+					if c.probe != nil {
+						c.probe.Emit(obs.Event{
+							Cycle: cycle, Kind: obs.KindCombine, PE: r.PE,
+							Stage: s, MM: -1, Copy: c.copyIdx,
+							ID: r.ID, ID2: old.ID, Op: r.Op, Addr: r.Addr,
+						})
+					}
 					return true
 				}
 			}
@@ -127,6 +139,13 @@ func (c *copyNet) enqueueForward(s, sw int, r msg.Request) bool {
 		return false
 	}
 	q.push(r)
+	if c.probe != nil {
+		c.probe.Emit(obs.Event{
+			Cycle: cycle, Kind: obs.KindStageArrive, PE: r.PE,
+			Stage: s, MM: -1, Copy: c.copyIdx,
+			ID: r.ID, Op: r.Op, Addr: r.Addr,
+		})
+	}
 	return true
 }
 
@@ -143,7 +162,7 @@ type deferredReply struct {
 // record is consumed and both original replies are synthesized and routed
 // (decombination, §3.3); otherwise the reply is routed alone. It reports
 // false when the required ToPE queue space is unavailable this cycle.
-func (c *copyNet) acceptReply(s, sw, inPort int, rep msg.Reply) bool {
+func (c *copyNet) acceptReply(s, sw, inPort int, rep msg.Reply, cycle int64) bool {
 	if c.revDefer[s][sw].valid {
 		// The switch still holds an undelivered second reply; block
 		// incoming replies until it drains.
@@ -162,9 +181,20 @@ func (c *copyNet) acceptReply(s, sw, inPort int, rep msg.Reply) bool {
 		}
 		w.take(rep.ID)
 		qa.push(ra)
+		if c.probe != nil {
+			c.probe.Emit(obs.Event{
+				Cycle: cycle, Kind: obs.KindDecombine, PE: -1,
+				Stage: s, MM: -1, Copy: c.copyIdx,
+				ID: rep.ID, ID2: rb.ID, Addr: rec.addr, Value: rep.Value,
+			})
+			c.emitReplyHop(s, ra, cycle)
+		}
 		// If qa == qb, qb's occupancy already includes ra.
 		if qb.spaceFor(rb.Packets()) {
 			qb.push(rb)
+			if c.probe != nil {
+				c.emitReplyHop(s, rb, cycle)
+			}
 		} else {
 			c.revDefer[s][sw] = deferredReply{rep: rb, port: pb, valid: true}
 		}
@@ -176,12 +206,24 @@ func (c *copyNet) acceptReply(s, sw, inPort int, rep msg.Reply) bool {
 		return false
 	}
 	q.push(rep)
+	if c.probe != nil {
+		c.emitReplyHop(s, rep, cycle)
+	}
 	return true
+}
+
+// emitReplyHop records a reply entering a stage's ToPE queue.
+func (c *copyNet) emitReplyHop(s int, rep msg.Reply, cycle int64) {
+	c.probe.Emit(obs.Event{
+		Cycle: cycle, Kind: obs.KindReplyHop, PE: rep.PE,
+		Stage: s, MM: -1, Copy: c.copyIdx,
+		ID: rep.ID, Op: rep.Op, Addr: rep.Addr, Value: rep.Value,
+	})
 }
 
 // flushDeferred retries delivery of held second replies into their ToPE
 // queues.
-func (c *copyNet) flushDeferred() {
+func (c *copyNet) flushDeferred(cycle int64) {
 	for s := 0; s < c.topo.stages; s++ {
 		for sw := range c.revDefer[s] {
 			d := &c.revDefer[s][sw]
@@ -192,6 +234,9 @@ func (c *copyNet) flushDeferred() {
 			if q.spaceFor(d.rep.Packets()) {
 				q.push(d.rep)
 				d.valid = false
+				if c.probe != nil {
+					c.emitReplyHop(s, d.rep, cycle)
+				}
 			}
 		}
 	}
@@ -249,12 +294,19 @@ func (c *copyNet) pumpRequest(srv *reqServer, cycle int64, s, l int) {
 				if c.mmIn[mm].spaceFor(srv.req.Packets()) {
 					c.mmIn[mm].push(srv.req)
 					ok = true
+					if c.probe != nil {
+						c.probe.Emit(obs.Event{
+							Cycle: cycle, Kind: obs.KindMMArrive, PE: srv.req.PE,
+							Stage: -1, MM: mm, Copy: c.copyIdx,
+							ID: srv.req.ID, Op: srv.req.Op, Addr: srv.req.Addr,
+						})
+					}
 				}
 			} else {
 				// The perfect shuffle wires output line l (or PE
 				// l when s == -1) to the next stage.
 				nextSw := t.shuffle(l) / t.k
-				ok = c.enqueueForward(s+1, nextSw, srv.req)
+				ok = c.enqueueForward(s+1, nextSw, srv.req, cycle)
 			}
 			if ok {
 				srv.delivered = true
@@ -284,7 +336,7 @@ func (c *copyNet) pumpRequest(srv *reqServer, cycle int64, s, l int) {
 // D−1..0), mirroring stepForward.
 func (c *copyNet) stepReverse(cycle int64) {
 	t := c.topo
-	c.flushDeferred()
+	c.flushDeferred(cycle)
 	for mm := 0; mm < t.n; mm++ {
 		c.pumpReply(&c.mmSrv[mm], cycle, t.stages, mm)
 	}
@@ -318,10 +370,10 @@ func (c *copyNet) pumpReply(srv *repServer, cycle int64, s, l int) {
 			case s == t.stages:
 				// MNI into the last stage: MM m is wired to
 				// switch m/k, MM-side port m%k.
-				ok = c.acceptReply(t.stages-1, l/t.k, l%t.k, srv.rep)
+				ok = c.acceptReply(t.stages-1, l/t.k, l%t.k, srv.rep, cycle)
 			default:
 				prev := t.unshuffle(l)
-				ok = c.acceptReply(s-1, prev/t.k, prev%t.k, srv.rep)
+				ok = c.acceptReply(s-1, prev/t.k, prev%t.k, srv.rep, cycle)
 			}
 			if ok {
 				srv.delivered = true

@@ -1,0 +1,70 @@
+// Package obs is the machine's observability layer: cycle-level request
+// tracing, periodic metrics sampling, and exporters for both.
+//
+// The paper's evaluation (§4) rests on seeing inside the network —
+// NETSIM/WASHCLOTH measured per-stage queue behavior and central-memory
+// access-time distributions. This package makes the same visibility a
+// first-class part of the simulator instead of ad-hoc printf debugging:
+//
+//   - Probe is a one-method sink for typed Events. Every hardware
+//     package (network, memory, pe, cache, machine) holds an optional
+//     Probe and emits events only after a nil check, so a disabled probe
+//     costs one branch and zero allocations on the hot path.
+//   - Recorder is a fixed-capacity ring buffer Probe: when full it
+//     overwrites the oldest events, so tracing a long run keeps the tail.
+//   - Sampler accumulates periodic Snapshots of per-stage queue
+//     occupancy, combine rate and memory-module utilization into a time
+//     series, with percentile summaries built on sim.Histogram.
+//   - WriteChromeTrace renders recorded events as a Chrome trace_event
+//     JSON file (one track per PE, per switch stage, per MM) loadable in
+//     chrome://tracing or Perfetto; Sampler.WriteJSONL emits the metrics
+//     time series as one JSON object per line.
+//
+// # Event schema
+//
+// Every Event carries the network cycle it happened on (PE-side events
+// are scaled from PE cycles to network cycles by the machine), the event
+// Kind, and the subset of the remaining fields that Kind defines:
+//
+//	KindInject        request accepted into the network.
+//	                  PE, ID, Op, Addr, Value (operand), Copy.
+//	KindStageArrive   request enqueued into a stage's ToMM queue after a
+//	                  switch hop. Stage, ID, PE, Op, Addr.
+//	KindCombine       request absorbed into a queued partner for the
+//	                  same word (§3.3). Stage, ID (absorbed request),
+//	                  ID2 (surviving request), Addr.
+//	KindMMArrive      fully assembled request handed to the memory-side
+//	                  queue by the last stage. MM, ID.
+//	KindMNIBegin      memory module begins serving a request. MM, ID,
+//	                  Op, Addr.
+//	KindMNIServe      memory module completes a request; the reply is
+//	                  created. MM, ID, Op, Addr, Value (returned value).
+//	KindDecombine     wait-buffer match on the return path: the combined
+//	                  reply forks back into two (§3.3, Figure 3). Stage,
+//	                  ID (combined reply), ID2 (recreated absorbed
+//	                  request).
+//	KindReplyHop      reply enqueued into a stage's ToPE queue. Stage,
+//	                  ID, PE.
+//	KindReplyDeliver  reply handed to the requesting PE. PE, ID, Value.
+//	KindStallBegin    the PE entered a run of idle cycles. PE, Cause.
+//	KindStallEnd      the PE resumed executing. PE, Cause.
+//	KindCacheHit      private-cache hit. PE, Value (linear address).
+//	KindCacheMiss     private-cache miss. PE, Value (linear address).
+//	KindCacheWriteBack an evicted/flushed dirty word left the cache.
+//	                  PE, Value (linear address).
+//
+// Cache events come from the timing-free functional cache model and
+// carry Cycle = -1; the Recorder preserves their order relative to the
+// surrounding timed events.
+//
+// Stall causes attribute every idle PE cycle to the hardware reason the
+// paper's design cares about:
+//
+//	CauseMemory    a consumed register is still locked awaiting a reply
+//	               (the §3.5 scoreboard), or a fence is draining.
+//	CauseNetFull   the network refused an injection — queue-full
+//	               backpressure at the PNI.
+//	CausePipeline  the PNI's pipelining restrictions refused an issue
+//	               (outstanding-request limit, or an in-flight request
+//	               to the same location, §3.4).
+package obs

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+
+	"ultracomputer/internal/msg"
+)
+
+// Kind identifies what an Event records; see the package documentation
+// for the schema.
+type Kind uint8
+
+const (
+	KindInject Kind = iota
+	KindStageArrive
+	KindCombine
+	KindMMArrive
+	KindMNIBegin
+	KindMNIServe
+	KindDecombine
+	KindReplyHop
+	KindReplyDeliver
+	KindStallBegin
+	KindStallEnd
+	KindCacheHit
+	KindCacheMiss
+	KindCacheWriteBack
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	"Inject", "StageArrive", "Combine", "MMArrive", "MNIBegin",
+	"MNIServe", "Decombine", "ReplyHop", "ReplyDeliver", "StallBegin",
+	"StallEnd", "CacheHit", "CacheMiss", "CacheWriteBack",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// StallCause attributes a run of idle PE cycles to its hardware reason.
+type StallCause uint8
+
+const (
+	// CauseNone marks a PE that is not stalled.
+	CauseNone StallCause = iota
+	// CauseMemory is the §3.5 scoreboard: a consumed register is locked
+	// awaiting a central-memory reply, or a fence is draining.
+	CauseMemory
+	// CauseNetFull is queue-full backpressure: every network copy's PNI
+	// queue refused the injection this cycle.
+	CauseNetFull
+	// CausePipeline is the PNI's pipelining restriction: the
+	// outstanding-request limit is reached or another request to the
+	// same location is already in flight (§3.4).
+	CausePipeline
+)
+
+var causeNames = [...]string{"none", "memory", "net-full", "pipeline"}
+
+// String names the cause.
+func (c StallCause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("StallCause(%d)", uint8(c))
+}
+
+// Event is one observation. It is a flat value type so that emitting
+// into a preallocated Recorder never allocates; which fields are
+// meaningful depends on Kind (see the package documentation).
+type Event struct {
+	// Cycle is the network cycle of the observation; -1 for events from
+	// untimed models (the functional cache).
+	Cycle int64
+	Kind  Kind
+	Cause StallCause
+	Op    msg.Op
+	// PE is the originating or stalling processing element; -1 when not
+	// applicable.
+	PE int
+	// Stage is the switch stage (0 = PE side); -1 when not applicable.
+	Stage int
+	// MM is the memory module; -1 when not applicable.
+	MM int
+	// Copy is the network copy carrying the request; -1 when not
+	// applicable.
+	Copy int
+	// ID is the request ID the event concerns; ID2 a second request
+	// (combine partner, recreated decombine side).
+	ID, ID2 uint64
+	Addr    msg.Addr
+	// Value is kind-dependent: the operand for KindInject, the returned
+	// value for KindMNIServe/KindReplyDeliver, the linear address for
+	// cache events.
+	Value int64
+}
+
+// String formats the event for debugging.
+func (e Event) String() string {
+	return fmt.Sprintf("ev{c=%d %s pe=%d stage=%d mm=%d id=%d id2=%d %s %s v=%d %s}",
+		e.Cycle, e.Kind, e.PE, e.Stage, e.MM, e.ID, e.ID2, e.Op, e.Addr, e.Value, e.Cause)
+}
+
+// Probe receives events from the instrumented machine. Implementations
+// must not retain the Event beyond the call (it may be reused). Every
+// emit site guards with a nil check, so a nil Probe is the free default.
+type Probe interface {
+	Emit(Event)
+}

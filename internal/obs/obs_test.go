@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ultracomputer/internal/msg"
+)
+
+func TestRecorderOrdering(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Cycle: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 5 || r.Len() != 5 || r.Total() != 5 || r.Overwritten() != 0 {
+		t.Fatalf("len=%d total=%d overwritten=%d", r.Len(), r.Total(), r.Overwritten())
+	}
+	for i, ev := range evs {
+		if ev.Cycle != int64(i) {
+			t.Errorf("event %d has cycle %d", i, ev.Cycle)
+		}
+	}
+}
+
+func TestRecorderWraparound(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Cycle: int64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 || r.Overwritten() != 6 {
+		t.Fatalf("Total = %d Overwritten = %d, want 10 and 6", r.Total(), r.Overwritten())
+	}
+	evs := r.Events()
+	for i, want := range []int64{6, 7, 8, 9} {
+		if evs[i].Cycle != want {
+			t.Errorf("event %d has cycle %d, want %d (newest window, oldest first)", i, evs[i].Cycle, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || len(r.Events()) != 0 {
+		t.Errorf("Reset left state behind")
+	}
+}
+
+// TestNilProbeZeroAlloc pins the contract that a disabled probe costs
+// nothing on the hot path: the nil check plus a value-struct Emit must
+// not allocate.
+func TestNilProbeZeroAlloc(t *testing.T) {
+	var probe Probe
+	ev := Event{Cycle: 42, Kind: KindInject, PE: 3, ID: 7}
+	if a := testing.AllocsPerRun(1000, func() {
+		if probe != nil {
+			probe.Emit(ev)
+		}
+	}); a != 0 {
+		t.Errorf("nil-probe emit path allocates %v per run, want 0", a)
+	}
+}
+
+// TestRecorderEmitZeroAlloc pins that an enabled ring-buffer recorder
+// does not allocate per event either.
+func TestRecorderEmitZeroAlloc(t *testing.T) {
+	r := NewRecorder(16)
+	var probe Probe = r
+	ev := Event{Cycle: 42, Kind: KindStageArrive, Stage: 1, ID: 7}
+	if a := testing.AllocsPerRun(1000, func() {
+		probe.Emit(ev)
+	}); a != 0 {
+		t.Errorf("Recorder.Emit allocates %v per run, want 0", a)
+	}
+}
+
+func TestSamplerRates(t *testing.T) {
+	s := NewSampler(64)
+	if !s.Due(0) || s.Due(63) || !s.Due(128) {
+		t.Fatalf("Due schedule wrong for Every=64")
+	}
+	s.Record(Snapshot{Cycle: 0, Injected: 0, Combines: 0, MMServed: 0,
+		StageQueuePackets: []int64{1, 2}})
+	s.Record(Snapshot{Cycle: 64, Injected: 128, Combines: 32, MMServed: 64,
+		StageQueuePackets: []int64{3, 4}})
+	snaps := s.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	if snaps[0].InjectRate != 0 {
+		t.Errorf("first snapshot rate = %v, want 0 (no prior interval)", snaps[0].InjectRate)
+	}
+	if got := snaps[1].InjectRate; got != 2 {
+		t.Errorf("InjectRate = %v, want 2", got)
+	}
+	if got := snaps[1].CombineRate; got != 0.5 {
+		t.Errorf("CombineRate = %v, want 0.5", got)
+	}
+	if got := snaps[1].ServeRate; got != 1 {
+		t.Errorf("ServeRate = %v, want 1", got)
+	}
+	h := s.StageOccupancy(1)
+	if h == nil || h.N() != 2 || h.Count(2) != 1 || h.Count(4) != 1 {
+		t.Errorf("stage 1 occupancy histogram wrong: %+v", h)
+	}
+	if s.StageOccupancy(5) != nil {
+		t.Errorf("unsampled stage should report nil")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != 2 {
+		t.Errorf("JSONL lines = %d, want 2", lines)
+	}
+}
+
+func TestDefaultCapacities(t *testing.T) {
+	if NewRecorder(0).Len() != 0 {
+		t.Error("zero-capacity recorder not empty")
+	}
+	if cap := len(NewRecorder(0).buf); cap != DefaultRecorderCapacity {
+		t.Errorf("default capacity = %d", cap)
+	}
+	if s := NewSampler(0); s.Every != 64 {
+		t.Errorf("default Every = %d, want 64", s.Every)
+	}
+}
+
+// TestChromeTraceCombinedSpan feeds a synthetic combined pair through
+// the exporter and checks that (a) the file is valid JSON, (b) both
+// origin requests appear as lifecycle spans, and (c) the surviving
+// request's single MNI span lists both origins in its "serves" arg.
+func TestChromeTraceCombinedSpan(t *testing.T) {
+	addr := msg.Addr{MM: 0, Word: 5}
+	events := []Event{
+		{Cycle: 0, Kind: KindInject, Op: msg.FetchAdd, PE: 0, ID: 1, Addr: addr},
+		{Cycle: 0, Kind: KindInject, Op: msg.FetchAdd, PE: 1, ID: 2, Addr: addr},
+		{Cycle: 1, Kind: KindStageArrive, Op: msg.FetchAdd, Stage: 0, ID: 1, Addr: addr},
+		{Cycle: 1, Kind: KindStageArrive, Op: msg.FetchAdd, Stage: 0, ID: 2, Addr: addr},
+		// Request 1 is absorbed into request 2 at stage 0.
+		{Cycle: 2, Kind: KindCombine, Op: msg.FetchAdd, Stage: 0, ID: 1, ID2: 2, Addr: addr},
+		{Cycle: 3, Kind: KindStageArrive, Op: msg.FetchAdd, Stage: 1, ID: 2, Addr: addr},
+		{Cycle: 5, Kind: KindMMArrive, MM: 0, ID: 2, Addr: addr},
+		{Cycle: 5, Kind: KindMNIBegin, Op: msg.FetchAdd, MM: 0, ID: 2, Addr: addr},
+		{Cycle: 7, Kind: KindMNIServe, Op: msg.FetchAdd, MM: 0, ID: 2, Addr: addr, Value: 10},
+		{Cycle: 8, Kind: KindReplyHop, Stage: 1, ID: 2},
+		{Cycle: 9, Kind: KindDecombine, Stage: 0, ID: 2, ID2: 1},
+		{Cycle: 9, Kind: KindReplyHop, Stage: 0, ID: 2},
+		{Cycle: 9, Kind: KindReplyHop, Stage: 0, ID: 1},
+		{Cycle: 10, Kind: KindReplyDeliver, PE: 1, ID: 2, Value: 10},
+		{Cycle: 10, Kind: KindReplyDeliver, PE: 0, ID: 1, Value: 11},
+		// Untimed cache event must be skipped, not crash.
+		{Cycle: -1, Kind: KindCacheHit, PE: 0, Value: 99},
+		// Stall pair.
+		{Cycle: 4, Kind: KindStallBegin, PE: 0, Cause: CauseMemory},
+		{Cycle: 10, Kind: KindStallEnd, PE: 0, Cause: CauseMemory},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v", err)
+	}
+
+	var lifecycles, mniSpans, stallSpans, combineInstants int
+	var serves []any
+	for _, ev := range file.TraceEvents {
+		switch {
+		case ev.Ph == "X" && ev.PID == 1 && ev.Name != "" && ev.Args["cause"] == nil:
+			lifecycles++
+		case ev.Ph == "X" && ev.PID == 3:
+			mniSpans++
+			if s, ok := ev.Args["serves"].([]any); ok {
+				serves = s
+			}
+		case ev.Ph == "X" && ev.Args["cause"] != nil:
+			stallSpans++
+		case ev.Ph == "i" && ev.Name == "combine":
+			combineInstants++
+		}
+	}
+	if lifecycles != 2 {
+		t.Errorf("lifecycle spans = %d, want 2 (one per origin PE)", lifecycles)
+	}
+	if mniSpans != 1 {
+		t.Errorf("MNI spans = %d, want exactly 1 for the combined pair", mniSpans)
+	}
+	if len(serves) != 2 {
+		t.Errorf("MNI serves = %v, want both origin IDs", serves)
+	}
+	if stallSpans != 1 {
+		t.Errorf("stall spans = %d, want 1", stallSpans)
+	}
+	if combineInstants != 1 {
+		t.Errorf("combine instants = %d, want 1", combineInstants)
+	}
+}
+
+func TestKindAndCauseStrings(t *testing.T) {
+	if KindInject.String() == "" || KindCacheWriteBack.String() == "" {
+		t.Error("Kind.String missing names")
+	}
+	if CauseMemory.String() == "" || CausePipeline.String() == "" {
+		t.Error("StallCause.String missing names")
+	}
+	if Kind(200).String() == "" || StallCause(200).String() == "" {
+		t.Error("out-of-range values must still render")
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+// Recorder is a fixed-capacity ring-buffer Probe: once full, each new
+// event overwrites the oldest, so tracing an arbitrarily long run keeps
+// the most recent window. The buffer is allocated up front and Emit
+// never allocates.
+type Recorder struct {
+	buf         []Event
+	start, n    int
+	total       int64
+	overwritten int64
+}
+
+// DefaultRecorderCapacity holds roughly the last million events — a few
+// thousand request lifecycles on a mid-sized machine.
+const DefaultRecorderCapacity = 1 << 20
+
+// NewRecorder returns a recorder holding up to capacity events
+// (capacity < 1 selects DefaultRecorderCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = DefaultRecorderCapacity
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Emit implements Probe.
+func (r *Recorder) Emit(ev Event) {
+	r.total++
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = ev
+		r.n++
+		return
+	}
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % len(r.buf)
+	r.overwritten++
+}
+
+// Len reports the number of events currently held.
+func (r *Recorder) Len() int { return r.n }
+
+// Total reports the number of events ever emitted.
+func (r *Recorder) Total() int64 { return r.total }
+
+// Overwritten reports how many events the ring has discarded; nonzero
+// means Events covers only the tail of the run.
+func (r *Recorder) Overwritten() int64 { return r.overwritten }
+
+// Events returns the held events oldest-first.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Reset discards all held events (capacity is kept).
+func (r *Recorder) Reset() {
+	r.start, r.n = 0, 0
+	r.total, r.overwritten = 0, 0
+}

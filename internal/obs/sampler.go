@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"ultracomputer/internal/sim"
+)
+
+// Snapshot is one periodic observation of the machine's queues and
+// counters. The StageQueue* fields are ordered from the PE side (stage
+// 0) toward the memory side; cumulative counters (Injected, Combines,
+// MMServed) are since the start of the run, while the *Rate fields are
+// per-cycle rates over the interval since the previous snapshot,
+// computed by Sampler.Record.
+type Snapshot struct {
+	Cycle int64 `json:"cycle"`
+
+	// StageQueueOcc is the mean ToMM-queue occupancy per stage, in
+	// packets per queue; StageQueuePackets the per-stage totals; and
+	// StageQueueMax the fullest single queue per stage. Under a hot spot
+	// the tree of saturated queues is widest at the PE side (so the
+	// totals peak there) while the fullest queues sit on the hot path —
+	// StageQueueMax grows toward the memory side (§3.2's congestion
+	// intuition).
+	StageQueueOcc     []float64 `json:"stage_queue_occ"`
+	StageQueuePackets []int64   `json:"stage_queue_packets"`
+	StageQueueMax     []int64   `json:"stage_queue_max"`
+	// StageReplyOcc is the mean ToPE-queue occupancy per stage.
+	StageReplyOcc []float64 `json:"stage_reply_occ"`
+
+	// MMBusyFrac is the fraction of memory modules mid-access;
+	// MMPending the mean fully assembled requests waiting per module.
+	MMBusyFrac float64 `json:"mm_busy_frac"`
+	MMPending  float64 `json:"mm_pending"`
+
+	Injected int64 `json:"injected"`
+	Combines int64 `json:"combines"`
+	MMServed int64 `json:"mm_served"`
+
+	InjectRate  float64 `json:"inject_rate"`
+	CombineRate float64 `json:"combine_rate"`
+	ServeRate   float64 `json:"serve_rate"`
+}
+
+// Sampler accumulates Snapshots every Every cycles into a time series
+// and feeds per-stage occupancy histograms for percentile summaries.
+// Drivers call Due each cycle and Record when it reports true.
+type Sampler struct {
+	// Every is the sampling interval in network cycles.
+	Every int64
+
+	snaps  []Snapshot
+	last   Snapshot
+	occ    []*sim.Histogram // per-stage total queued packets
+	maxOcc []sim.Mean       // per-stage fullest single queue, averaged over snapshots
+}
+
+// NewSampler returns a sampler with the given interval (every < 1
+// selects 64).
+func NewSampler(every int64) *Sampler {
+	if every < 1 {
+		every = 64
+	}
+	return &Sampler{Every: every}
+}
+
+// Due reports whether a snapshot should be recorded at cycle.
+func (s *Sampler) Due(cycle int64) bool { return cycle%s.Every == 0 }
+
+// Record appends one snapshot, filling its rate fields from the
+// previous one and updating the percentile histograms.
+func (s *Sampler) Record(sn Snapshot) {
+	if dt := sn.Cycle - s.last.Cycle; len(s.snaps) > 0 && dt > 0 {
+		sn.InjectRate = float64(sn.Injected-s.last.Injected) / float64(dt)
+		sn.CombineRate = float64(sn.Combines-s.last.Combines) / float64(dt)
+		sn.ServeRate = float64(sn.MMServed-s.last.MMServed) / float64(dt)
+	}
+	for len(s.occ) < len(sn.StageQueuePackets) {
+		s.occ = append(s.occ, sim.NewHistogram(1024))
+	}
+	for st, pk := range sn.StageQueuePackets {
+		s.occ[st].Observe(pk)
+	}
+	for len(s.maxOcc) < len(sn.StageQueueMax) {
+		s.maxOcc = append(s.maxOcc, sim.Mean{})
+	}
+	for st, mx := range sn.StageQueueMax {
+		s.maxOcc[st].Observe(float64(mx))
+	}
+	s.snaps = append(s.snaps, sn)
+	s.last = sn
+}
+
+// Snapshots returns the recorded time series.
+func (s *Sampler) Snapshots() []Snapshot { return s.snaps }
+
+// StageOccupancy returns the histogram of total queued packets at the
+// given stage across all snapshots, or nil if never sampled.
+func (s *Sampler) StageOccupancy(stage int) *sim.Histogram {
+	if stage < 0 || stage >= len(s.occ) {
+		return nil
+	}
+	return s.occ[stage]
+}
+
+// WriteJSONL writes the time series as one JSON object per line.
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, sn := range s.snaps {
+		if err := enc.Encode(sn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders per-stage occupancy percentiles (total queued packets
+// per stage over the sampled window) — the compact view of where the
+// network backs up.
+func (s *Sampler) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queue occupancy by stage over %d samples (total packets: mean p50 p95 p99; fullest queue mean/peak)\n", len(s.snaps))
+	for st, h := range s.occ {
+		var mxMean, mxPeak float64
+		if st < len(s.maxOcc) {
+			mxMean = s.maxOcc[st].Value()
+			mxPeak = s.maxOcc[st].Max()
+		}
+		fmt.Fprintf(&b, "  stage %2d  %8.2f %5d %5d %5d  fullest %6.2f /%3.0f\n",
+			st, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), mxMean, mxPeak)
+	}
+	return b.String()
+}

@@ -25,7 +25,11 @@ type CachedMem struct {
 
 // NewCache attaches a private write-back cache to this PE.
 func (c *Ctx) NewCache(cfg cache.Config) *CachedMem {
-	return &CachedMem{ctx: c, c: cache.New(cfg)}
+	m := &CachedMem{ctx: c, c: cache.New(cfg)}
+	if c.core.probe != nil {
+		m.c.SetProbe(c.core.probe, c.core.probePE)
+	}
+	return m
 }
 
 // Stats exposes hit/miss/write-back counters.

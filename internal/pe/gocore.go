@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ultracomputer/internal/msg"
+	"ultracomputer/internal/obs"
 )
 
 // GoCore runs a PE program written as an ordinary Go function against the
@@ -27,6 +28,16 @@ type GoCore struct {
 	nextTag  int
 	freeTags []int // recycled tags, so the tag space stays bounded
 	halted   bool
+
+	probe   obs.Probe // forwarded to caches the program attaches
+	probePE int
+}
+
+// SetProbe stores the probe the machine attached to this PE so that
+// caches created later via Ctx.NewCache emit events through it.
+func (g *GoCore) SetProbe(p obs.Probe, pe int) {
+	g.probe = p
+	g.probePE = pe
 }
 
 // Program is the body of a PE: it runs once and its return halts the PE.

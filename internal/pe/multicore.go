@@ -1,6 +1,10 @@
 package pe
 
-import "fmt"
+import (
+	"fmt"
+
+	"ultracomputer/internal/obs"
+)
 
 // MultiCore hardware-multiprograms k instruction streams on one PE
 // (§3.5): "if the latency remains an impediment to performance, we would
@@ -37,6 +41,15 @@ func NewMultiCore(cores ...Core) *MultiCore {
 // Streams reports the multiprogramming factor k.
 func (m *MultiCore) Streams() int { return len(m.cores) }
 
+// SetProbe forwards the probe to every stream that accepts one.
+func (m *MultiCore) SetProbe(p obs.Probe, pe int) {
+	for _, c := range m.cores {
+		if s, ok := c.(probeSettable); ok {
+			s.SetProbe(p, pe)
+		}
+	}
+}
+
 // Tick implements Core: offer the cycle to each stream in turn until one
 // executes.
 func (m *MultiCore) Tick(env *Env) TickResult {
@@ -46,6 +59,9 @@ func (m *MultiCore) Tick(env *Env) TickResult {
 		sub := *env
 		sub.tagShift = idx * tagStride
 		r := m.cores[idx].Tick(&sub)
+		// Surface any stream's issue refusals for stall attribution.
+		env.refusedNet = env.refusedNet || sub.refusedNet
+		env.refusedPipe = env.refusedPipe || sub.refusedPipe
 		if r.Halted {
 			continue
 		}

@@ -19,6 +19,7 @@ import (
 
 	"ultracomputer/internal/memory"
 	"ultracomputer/internal/msg"
+	"ultracomputer/internal/obs"
 	"ultracomputer/internal/sim"
 )
 
@@ -55,6 +56,12 @@ type Stats struct {
 	SharedLoads  sim.Counter    // value-returning shared requests (CM loads)
 	CMWait       sim.Mean       // per-request issue-to-complete time (PE cycles)
 	CMWaitHist   *sim.Histogram // full access-time distribution
+
+	// Stall attribution: every IdleCycles tick lands in exactly one of
+	// these three buckets (see obs.StallCause).
+	IdleMemory   sim.Counter // waiting on a locked register or fence
+	IdleNetFull  sim.Counter // network refused the injection (backpressure)
+	IdlePipeline sim.Counter // PNI pipelining rules refused the issue
 }
 
 // PE is one processing element.
@@ -64,6 +71,32 @@ type PE struct {
 	pni    *PNI
 	stats  Stats
 	halted bool
+
+	// probe receives PE-side events; probeScale converts the PE cycles
+	// Tick runs on to the network cycles events are stamped with.
+	probe      obs.Probe
+	probeScale int64
+	stall      obs.StallCause // current stall run's cause, CauseNone when running
+}
+
+// probeSettable lets a core receive the probe the machine attached to
+// its PE (GoCore and isa.Core forward it to their caches).
+type probeSettable interface {
+	SetProbe(p obs.Probe, pe int)
+}
+
+// SetProbe attaches an event probe; scale is the number of network
+// cycles per PE cycle (events are stamped in network cycles). Cores
+// that can carry a probe (for cache events) receive it too.
+func (p *PE) SetProbe(pr obs.Probe, scale int64) {
+	if scale < 1 {
+		scale = 1
+	}
+	p.probe = pr
+	p.probeScale = scale
+	if ps, ok := p.core.(probeSettable); ok {
+		ps.SetProbe(pr, p.id)
+	}
 }
 
 // New builds a PE around core with a PNI that hashes addresses with h and
@@ -104,14 +137,54 @@ func (p *PE) Tick(cycle int64, npe int) {
 	switch {
 	case r.Halted:
 		p.halted = true
+		p.endStall(cycle)
 	case r.Executed:
 		p.stats.Instructions.Inc()
 		if r.LocalRef {
 			p.stats.LocalRefs.Inc()
 		}
+		p.endStall(cycle)
 	default:
 		p.stats.IdleCycles.Inc()
+		cause := obs.CauseMemory
+		switch {
+		case env.refusedNet:
+			cause = obs.CauseNetFull
+			p.stats.IdleNetFull.Inc()
+		case env.refusedPipe:
+			cause = obs.CausePipeline
+			p.stats.IdlePipeline.Inc()
+		default:
+			p.stats.IdleMemory.Inc()
+		}
+		if p.probe != nil && p.stall != cause {
+			if p.stall != obs.CauseNone {
+				p.probe.Emit(obs.Event{
+					Cycle: cycle * p.probeScale, Kind: obs.KindStallEnd,
+					PE: p.id, Stage: -1, MM: -1, Copy: -1, Cause: p.stall,
+				})
+			}
+			p.probe.Emit(obs.Event{
+				Cycle: cycle * p.probeScale, Kind: obs.KindStallBegin,
+				PE: p.id, Stage: -1, MM: -1, Copy: -1, Cause: cause,
+			})
+		}
+		p.stall = cause
 	}
+}
+
+// endStall closes the current stall run, if any.
+func (p *PE) endStall(cycle int64) {
+	if p.stall == obs.CauseNone {
+		return
+	}
+	if p.probe != nil {
+		p.probe.Emit(obs.Event{
+			Cycle: cycle * p.probeScale, Kind: obs.KindStallEnd,
+			PE: p.id, Stage: -1, MM: -1, Copy: -1, Cause: p.stall,
+		})
+	}
+	p.stall = obs.CauseNone
 }
 
 // Deliver routes a network reply to the core, recording the round trip in
@@ -136,6 +209,11 @@ type Env struct {
 	// tagShift offsets completion tags; MultiCore uses it to give each
 	// hardware-multiprogrammed stream a disjoint tag range.
 	tagShift int
+	// refusedNet/refusedPipe record why an Issue failed this tick, for
+	// stall attribution: the network had no space vs. the PNI's
+	// pipelining rules said no.
+	refusedNet  bool
+	refusedPipe bool
 }
 
 // PEID reports the PE number.
@@ -156,14 +234,20 @@ func (e *Env) Issue(op msg.Op, addr int64, operand int64, tag int) bool {
 	if tag >= 0 {
 		tag += e.tagShift
 	}
-	ok := e.pe.pni.issue(op, addr, operand, tag, e.cycle)
-	if ok {
-		e.pe.stats.SharedRefs.Inc()
-		if op.ReturnsValue() {
-			e.pe.stats.SharedLoads.Inc()
-		}
+	if !e.pe.pni.canIssue(addr) {
+		e.refusedPipe = true
+		return false
 	}
-	return ok
+	ok := e.pe.pni.issue(op, addr, operand, tag, e.cycle)
+	if !ok {
+		e.refusedNet = true
+		return false
+	}
+	e.pe.stats.SharedRefs.Inc()
+	if op.ReturnsValue() {
+		e.pe.stats.SharedLoads.Inc()
+	}
+	return true
 }
 
 // CanIssue reports whether a request to addr could be accepted by the

@@ -1,0 +1,77 @@
+package sim
+
+import "testing"
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(16)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 {
+		t.Errorf("empty histogram Mean = %v, want 0", h.Mean())
+	}
+}
+
+func TestHistogramAllOverflow(t *testing.T) {
+	h := NewHistogram(8)
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	if h.Overflow() != 10 {
+		t.Fatalf("Overflow = %d, want 10", h.Overflow())
+	}
+	// With all the mass beyond the cap, every quantile is the cap value —
+	// a lower bound, which is why reports must surface Overflow.
+	if got := h.Quantile(0.5); got != 8 {
+		t.Errorf("Quantile(0.5) = %d, want cap 8", got)
+	}
+	if got := h.Quantile(0.99); got != 8 {
+		t.Errorf("Quantile(0.99) = %d, want cap 8", got)
+	}
+	if h.N() != 10 {
+		t.Errorf("N = %d, want 10", h.N())
+	}
+}
+
+func TestHistogramMergeMismatchedCapacities(t *testing.T) {
+	small := NewHistogram(4)
+	big := NewHistogram(32)
+	big.Observe(2)   // fits in both
+	big.Observe(10)  // fits only in big
+	big.Observe(100) // overflow in both
+	small.Merge(big)
+	if small.N() != 3 {
+		t.Fatalf("merged N = %d, want 3", small.N())
+	}
+	if got := small.Count(2); got != 1 {
+		t.Errorf("Count(2) = %d, want 1", got)
+	}
+	// big's bucket 10 exceeds small's cap and must fold into overflow,
+	// joining big's own overflow sample.
+	if got := small.Overflow(); got != 2 {
+		t.Errorf("Overflow = %d, want 2", got)
+	}
+
+	// Merging the other way keeps everything in ordinary buckets.
+	small2 := NewHistogram(4)
+	small2.Observe(1)
+	big2 := NewHistogram(32)
+	big2.Merge(small2)
+	if big2.Overflow() != 0 {
+		t.Errorf("big merge overflow = %d, want 0", big2.Overflow())
+	}
+	if big2.Count(1) != 1 {
+		t.Errorf("big merge Count(1) = %d, want 1", big2.Count(1))
+	}
+}
+
+func TestHistogramMergeNil(t *testing.T) {
+	h := NewHistogram(4)
+	h.Observe(1)
+	h.Merge(nil)
+	if h.N() != 1 {
+		t.Errorf("N after nil merge = %d, want 1", h.N())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"ultracomputer/internal/memory"
 	"ultracomputer/internal/msg"
 	"ultracomputer/internal/network"
+	"ultracomputer/internal/obs"
 	"ultracomputer/internal/sim"
 )
 
@@ -47,6 +48,12 @@ type Workload struct {
 	MMLatency int64
 	// Seed makes runs reproducible.
 	Seed uint64
+	// Probe, when non-nil, receives every network/memory event of the
+	// run (inject, per-stage hops, combines, MNI service, replies).
+	Probe obs.Probe
+	// Sampler, when non-nil, records a metrics snapshot every
+	// Sampler.Every cycles of the run.
+	Sampler *obs.Sampler
 }
 
 func (w Workload) withDefaults() Workload {
@@ -106,6 +113,10 @@ func Run(cfg network.Config, w Workload, warmup, measure int64) Result {
 		hash = memory.Interleave{N: n}
 	}
 	bank := memory.NewBank(n, w.MMLatency, hash)
+	if w.Probe != nil {
+		net.SetProbe(w.Probe)
+		bank.SetProbe(w.Probe)
+	}
 	rng := sim.NewRand(w.Seed)
 	peRng := make([]*sim.Rand, n)
 	burstOn := make([]bool, n)
@@ -184,6 +195,11 @@ func Run(cfg network.Config, w Workload, warmup, measure int64) Result {
 		net.Step(cycle)
 		if measuring && cycle%8 == 0 {
 			net.SampleQueues(res.QueueLen)
+		}
+		if w.Sampler != nil && w.Sampler.Due(cycle) {
+			sn := net.Snapshot(cycle)
+			bank.Observe(&sn)
+			w.Sampler.Record(sn)
 		}
 
 		// Memory side: let the modules finish in-progress work, then
