@@ -1,14 +1,20 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench-guard trace-smoke clean
+.PHONY: ci build vet lint test race bench-guard trace-smoke clean
 
-ci: vet build race test bench-guard
+ci: vet lint build race test bench-guard
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis (cmd/ultravet): host-side determinism and probe-guard
+# analyzers over every package, then the guest coherence/race lint over
+# the shipped assembly examples.
+lint:
+	$(GO) run ./cmd/ultravet ./... examples/asm/*.s
 
 # The lock-free coordination layers run under the race detector: their
 # correctness claims depend on the memory model, not just determinism.

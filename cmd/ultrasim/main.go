@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +23,6 @@ import (
 	"ultracomputer/internal/machine"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
-	"ultracomputer/internal/pe"
 )
 
 func main() {
@@ -32,6 +32,7 @@ func main() {
 	combining := flag.Bool("combining", true, "enable request combining")
 	hashing := flag.Bool("hashing", true, "hash addresses over memory modules")
 	local := flag.Int("local", 4096, "private memory words per PE")
+	lintFlag := flag.Bool("lint", false, "run the guest coherence/race lint before the program; findings abort the run")
 	limit := flag.Int64("limit", 100_000_000, "network-cycle limit")
 	dump := flag.String("dump", "", "shared memory range to print, lo:hi")
 	regs := flag.String("reg", "", "comma-separated integer registers to print per PE")
@@ -69,13 +70,20 @@ func main() {
 		Hashing: *hashing,
 		PEs:     *pes,
 	}
-	cores := make([]pe.Core, *pes)
-	isaCores := make([]*isa.Core, *pes)
-	for i := range cores {
-		isaCores[i] = isa.NewCore(prog, *local)
-		cores[i] = isaCores[i]
+	m, isaCores, err := machine.Load(cfg, prog, machine.LoadOptions{
+		LocalWords: *local,
+		Lint:       *lintFlag,
+	})
+	if err != nil {
+		var le *machine.LintError
+		if errors.As(err, &le) {
+			for _, f := range le.Findings {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", flag.Arg(0), f)
+			}
+			os.Exit(1)
+		}
+		fatal(err)
 	}
-	m := machine.New(cfg, cores)
 	var rec *obs.Recorder
 	if *traceOut != "" {
 		rec = obs.NewRecorder(obs.DefaultRecorderCapacity)

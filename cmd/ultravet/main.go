@@ -1,0 +1,134 @@
+// Command ultravet is the repository's static-analysis suite. It has two
+// halves, selected by the kind of argument:
+//
+// Go packages (directories, or the literal ./... to expand the module)
+// run the host-side analyzers over the simulator's own sources:
+//
+//	detstate   forbid wall-clock reads, global math/rand and unordered
+//	           map iteration in functions reachable from the cycle loop
+//	           (Tick/Step/Route/Collect)
+//	probegate  require every obs.Probe Emit call site to be guarded by
+//	           a nil check of the probe (the zero-alloc contract)
+//
+// Assembly files (*.s) are assembled and run through the guest lint
+// (internal/lint): cross-PE race, stale cached read and unflushed cached
+// write checks over the program each of -pes PEs would execute.
+//
+// Usage:
+//
+//	ultravet ./...
+//	ultravet -pes 8 examples/asm/queue.s
+//	ultravet ./... examples/asm/*.s
+//
+// Diagnostics print as file:line:col: analyzer: message; any finding
+// makes the exit status 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ultracomputer/internal/isa"
+	"ultracomputer/internal/lint"
+	"ultracomputer/internal/lint/analysis"
+	"ultracomputer/internal/lint/detstate"
+	"ultracomputer/internal/lint/probegate"
+)
+
+var analyzers = []*analysis.Analyzer{detstate.Analyzer, probegate.Analyzer}
+
+func main() {
+	pes := flag.Int("pes", 4, "PE count assumed by the guest lint for *.s files")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ultravet [-pes N] [./... | dir | prog.s] ...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	findings := 0
+	var loader *analysis.Loader
+	for _, arg := range args {
+		switch {
+		case strings.HasSuffix(arg, ".s"):
+			findings += guestLint(arg, *pes)
+		case arg == "./...":
+			if loader == nil {
+				loader = newLoader()
+			}
+			dirs, err := analysis.PackageDirs(".")
+			if err != nil {
+				fatal(err)
+			}
+			for _, dir := range dirs {
+				findings += hostLint(loader, dir)
+			}
+		default:
+			if loader == nil {
+				loader = newLoader()
+			}
+			findings += hostLint(loader, arg)
+		}
+	}
+	if findings > 0 {
+		os.Exit(1)
+	}
+}
+
+func newLoader() *analysis.Loader {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	return loader
+}
+
+// hostLint runs every host analyzer over the package in dir, printing
+// its diagnostics; returns the finding count.
+func hostLint(loader *analysis.Loader, dir string) int {
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", dir, err))
+	}
+	n := 0
+	for _, a := range analyzers {
+		diags, err := analysis.Run(a, pkg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %s: %w", dir, a.Name, err))
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+			n++
+		}
+	}
+	return n
+}
+
+// guestLint assembles path and runs the coherence/race lint for an SPMD
+// run on pes PEs; returns the finding count.
+func guestLint(path string, pes int) int {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	fs := lint.Program(prog, pes)
+	for _, f := range fs {
+		fmt.Printf("%s: guest: %s\n", path, f)
+	}
+	return len(fs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ultravet:", err)
+	os.Exit(1)
+}

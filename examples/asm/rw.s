@@ -1,0 +1,78 @@
+; rw.s — the readers–writers coordination of §2.3 in assembly: during
+; periods with no writer active, readers execute no serial code at all —
+; reader entry and exit are one fetch-and-add plus a recheck. The writer,
+; inherently serial, is admitted by a test-increment-retest (TIR) guard
+; on the writer cell and then drains the active readers.
+;
+; PE 0 is the writer: it increments both halves of a data pair 4 times
+; under the lock, so the pair always matches outside the critical
+; section. The other PEs each take 4 consistent snapshots and
+; fetch-and-add any mismatch into a torn-read tally. After the run
+; M[410] = M[411] = 4, M[420] = 0 (no torn reads), and M[421] counts the
+; completed reads: 4 * (P - 1).
+;
+;   go run ./cmd/ultrasim -pes 4 -dump 410:412 examples/asm/rw.s
+;
+; Cells: M[400] = R (active readers)   M[401] = W (admitted writer)
+;        M[410]/M[411] data pair       M[420] torn tally   M[421] reads
+
+        rdpe r1
+        li   r20, 400       ; &R
+        li   r21, 401       ; &W
+        li   r10, 410       ; &data lo
+        li   r11, 411       ; &data hi
+        li   r12, 420       ; &torn tally
+        li   r13, 421       ; &read count
+        li   r3, 1
+        li   r4, -1
+        li   r5, 4          ; rounds
+        li   r6, 0          ; round counter
+        bne  r1, r0, reader
+
+; ---------- writer (PE 0): 4 locked increments of the pair ----------
+wloop:  beq  r6, r5, done
+; Lock(): TIR(W, 1, 1), then wait for the readers to drain
+wlock:  lds  r7, 0(r21)     ; test: W + 1 <= 1?
+        bne  r7, r0, wlock  ; occupied: retry
+        faa  r7, 0(r21), r3 ; increment
+        beq  r7, r0, drain  ; retest: old W was 0 -> admitted
+        faa  r8, 0(r21), r4 ; undo and retry
+        jmp  wlock
+drain:  lds  r8, 0(r20)     ; active readers still inside?
+        bne  r8, r0, drain
+; critical section: bump both halves
+        lds  r9, 0(r10)
+        addi r9, r9, 1
+        sts  r9, 0(r10)
+        lds  r14, 0(r11)
+        addi r14, r14, 1
+        sts  r14, 0(r11)
+        lds  r15, 0(r11)    ; read the last store back: same-location
+        or   r15, r15, r15  ; ordering fences the pair before the release
+; Unlock()
+        faa  r8, 0(r21), r4
+        addi r6, r6, 1
+        jmp  wloop
+
+; ---------- readers (PE != 0): 4 consistent snapshots ----------
+reader: li   r6, 0
+rloop:  beq  r6, r5, done
+; RLock(): spin while a writer is admitted, enter, recheck
+rlock:  lds  r7, 0(r21)
+        bne  r7, r0, rlock
+        faa  r8, 0(r20), r3 ; tentatively enter
+        lds  r7, 0(r21)     ; recheck
+        beq  r7, r0, rgo
+        faa  r8, 0(r20), r4 ; a writer slipped in: back out
+        jmp  rlock
+rgo:    lds  r9, 0(r10)     ; snapshot both halves
+        lds  r14, 0(r11)
+        sne  r15, r9, r14   ; torn iff the halves differ
+        faa  r16, 0(r12), r15
+        faa  r16, 0(r13), r3
+; RUnlock()
+        faa  r8, 0(r20), r4
+        addi r6, r6, 1
+        jmp  rloop
+
+done:   halt

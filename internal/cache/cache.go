@@ -91,6 +91,9 @@ func (c *Cache) SetProbe(p obs.Probe, pe int) {
 
 // emit records one cache event for linear address a.
 func (c *Cache) emit(k obs.Kind, a int64) {
+	if c.probe == nil {
+		return
+	}
 	c.probe.Emit(obs.Event{
 		Cycle: -1, Kind: k, PE: c.probePE, Stage: -1, MM: -1, Copy: -1,
 		Value: a,

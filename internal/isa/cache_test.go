@@ -1,21 +1,22 @@
-package isa
+package isa_test
 
 import (
 	"testing"
 
 	"ultracomputer/internal/cache"
+	"ultracomputer/internal/isa"
 	"ultracomputer/internal/machine"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/pe"
 )
 
-func runCached(t *testing.T, src string, pes int, init func(*machine.Machine)) ([]*Core, *machine.Machine) {
+func runCached(t *testing.T, src string, pes int, init func(*machine.Machine)) ([]*isa.Core, *machine.Machine) {
 	t.Helper()
-	prog := MustAssemble(src)
+	prog := isa.MustAssemble(src)
 	cores := make([]pe.Core, pes)
-	isaCores := make([]*Core, pes)
+	isaCores := make([]*isa.Core, pes)
 	for i := range cores {
-		isaCores[i] = NewCoreWithCache(prog, 1024, cache.Config{Sets: 4, Ways: 2, BlockWords: 4})
+		isaCores[i] = isa.NewCoreWithCache(prog, 1024, cache.Config{Sets: 4, Ways: 2, BlockWords: 4})
 		cores[i] = isaCores[i]
 	}
 	m := machine.New(machine.Config{
@@ -166,8 +167,8 @@ func TestCachedOpsWithoutCachePanic(t *testing.T) {
 			t.Fatal("clds on cacheless core did not panic")
 		}
 	}()
-	prog := MustAssemble("li r1, 4\nclds r2, 0(r1)\nhalt")
-	core := NewCore(prog, 16)
+	prog := isa.MustAssemble("li r1, 4\nclds r2, 0(r1)\nhalt")
+	core := isa.NewCore(prog, 16)
 	m := machine.New(machine.Config{
 		Net: network.Config{K: 2, Stages: 2, Combining: true}, Hashing: true, PEs: 1,
 	}, []pe.Core{core})

@@ -49,6 +49,27 @@ func (p *Program) Disassemble() string {
 	return b.String()
 }
 
+// InstrString renders the instruction at pc in the assembler's input
+// syntax, naming branch targets with the program's own labels when it
+// has them (diagnostic use: lint findings, trace annotations).
+func (p *Program) InstrString(pc int) string {
+	if pc < 0 || pc >= len(p.Instrs) {
+		return fmt.Sprintf("; pc %d out of range", pc)
+	}
+	names := map[int]string{}
+	for name, at := range p.Labels {
+		if _, taken := names[at]; !taken || name < names[at] {
+			names[at] = name
+		}
+	}
+	if in := p.Instrs[pc]; isBranch(in.Op) {
+		if _, ok := names[int(in.Imm)]; !ok {
+			names[int(in.Imm)] = "L" + strconv.Itoa(int(in.Imm))
+		}
+	}
+	return disasmInstr(p.Instrs[pc], names)
+}
+
 func isBranch(op Op) bool {
 	switch op {
 	case BEQ, BNE, BLT, BGE, JMP, JAL:

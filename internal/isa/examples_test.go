@@ -1,10 +1,11 @@
-package isa
+package isa_test
 
 import (
 	"os"
 	"path/filepath"
 	"testing"
 
+	"ultracomputer/internal/isa"
 	"ultracomputer/internal/machine"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/pe"
@@ -20,13 +21,13 @@ func runAsmFile(t *testing.T, name string, pes int) *machine.Machine {
 	if err != nil {
 		t.Fatalf("reading %s: %v", name, err)
 	}
-	prog, err := Assemble(string(src))
+	prog, err := isa.Assemble(string(src))
 	if err != nil {
 		t.Fatalf("assembling %s: %v", name, err)
 	}
 	cores := make([]pe.Core, pes)
 	for i := range cores {
-		cores[i] = NewCore(prog, 4096)
+		cores[i] = isa.NewCore(prog, 4096)
 	}
 	cfg := machine.Config{
 		Net:     network.Config{K: 2, Stages: 4, Combining: true},

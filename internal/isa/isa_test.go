@@ -1,17 +1,18 @@
-package isa
+package isa_test
 
 import (
 	"math"
 	"strings"
 	"testing"
 
+	"ultracomputer/internal/isa"
 	"ultracomputer/internal/machine"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/pe"
 )
 
 // run executes cores on a small machine and returns it.
-func run(t *testing.T, cores []*Core, peCount int) *machine.Machine {
+func run(t *testing.T, cores []*isa.Core, peCount int) *machine.Machine {
 	t.Helper()
 	cfg := machine.Config{
 		Net:     network.Config{K: 2, Stages: 3, Combining: true},
@@ -27,10 +28,10 @@ func run(t *testing.T, cores []*Core, peCount int) *machine.Machine {
 	return m
 }
 
-func runOne(t *testing.T, src string) (*Core, *machine.Machine) {
+func runOne(t *testing.T, src string) (*isa.Core, *machine.Machine) {
 	t.Helper()
-	c := NewCore(MustAssemble(src), 1024)
-	m := run(t, []*Core{c}, 1)
+	c := isa.NewCore(isa.MustAssemble(src), 1024)
+	m := run(t, []*isa.Core{c}, 1)
 	return c, m
 }
 
@@ -48,14 +49,14 @@ func TestAssembleErrors(t *testing.T) {
 		"9bad: nop\njmp 9bad", // bad label name
 	}
 	for _, src := range cases {
-		if _, err := Assemble(src); err == nil {
-			t.Errorf("Assemble(%q) succeeded, want error", src)
+		if _, err := isa.Assemble(src); err == nil {
+			t.Errorf("isa.Assemble(%q) succeeded, want error", src)
 		}
 	}
 }
 
 func TestAssembleLabelsAndComments(t *testing.T) {
-	p := MustAssemble(`
+	p := isa.MustAssemble(`
 ; program head comment
 start:  li r1, 5        # five
 loop:   addi r1, r1, -1
@@ -270,8 +271,8 @@ func TestRegisterLockingOverlap(t *testing.T) {
 	halt
 `
 	idle := func(src string) int64 {
-		core := NewCore(MustAssemble(src), 16)
-		m := run(t, []*Core{core}, 1)
+		core := isa.NewCore(isa.MustAssemble(src), 16)
+		m := run(t, []*isa.Core{core}, 1)
 		if core.Reg(3) != 0 { // memory reads 0
 			t.Fatalf("r3 = %d, want 0", core.Reg(3))
 		}
@@ -287,7 +288,7 @@ func TestRegisterLockingOverlap(t *testing.T) {
 // takes a ticket with FAA and stores a flag at 1000+ticket. Every flag
 // must be set exactly once.
 func TestParallelFetchAddTickets(t *testing.T) {
-	prog := MustAssemble(`
+	prog := isa.MustAssemble(`
 	li   r1, 500        ; ticket counter address
 	li   r2, 1
 	faa  r3, 0(r1), r2  ; r3 = ticket
@@ -296,9 +297,9 @@ func TestParallelFetchAddTickets(t *testing.T) {
 	sts  r2, 0(r4)      ; M[1000+ticket] = 1
 	halt
 `)
-	cores := make([]*Core, 8)
+	cores := make([]*isa.Core, 8)
 	for i := range cores {
-		cores[i] = NewCore(prog, 16)
+		cores[i] = isa.NewCore(prog, 16)
 	}
 	m := run(t, cores, 8)
 	if m.ReadShared(500) != 8 {
@@ -313,7 +314,7 @@ func TestParallelFetchAddTickets(t *testing.T) {
 
 // TestRDPERDNP checks the PE-identity instructions.
 func TestRDPERDNP(t *testing.T) {
-	prog := MustAssemble(`
+	prog := isa.MustAssemble(`
 	rdpe r1
 	rdnp r2
 	li   r3, 900
@@ -321,9 +322,9 @@ func TestRDPERDNP(t *testing.T) {
 	sts  r1, 0(r3)   ; M[900+pe] = pe
 	halt
 `)
-	cores := make([]*Core, 4)
+	cores := make([]*isa.Core, 4)
 	for i := range cores {
-		cores[i] = NewCore(prog, 4)
+		cores[i] = isa.NewCore(prog, 4)
 	}
 	m := run(t, cores, 4)
 	for i := int64(0); i < 4; i++ {
@@ -337,11 +338,11 @@ func TestRDPERDNP(t *testing.T) {
 }
 
 func TestOpString(t *testing.T) {
-	if !strings.Contains(Instr{Op: FAA, Rd: 1}.String(), "faa") {
+	if !strings.Contains(isa.Instr{Op: isa.FAA, Rd: 1}.String(), "faa") {
 		t.Fatal("Instr.String missing mnemonic")
 	}
-	if Op(200).String() != "op(200)" {
-		t.Fatalf("unknown op string = %q", Op(200).String())
+	if isa.Op(200).String() != "op(200)" {
+		t.Fatalf("unknown op string = %q", isa.Op(200).String())
 	}
 }
 

@@ -1,0 +1,67 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: an Analyzer inspects one type-checked
+// package at a time and reports position-anchored diagnostics. The repo
+// vendors no external modules, so ultravet's analyzers are written
+// against this API instead; it mirrors the upstream shape (Analyzer,
+// Pass, Diagnostic) closely enough that porting to the real framework is
+// mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the ultravet
+	// command line.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Report. The result value is unused by the driver (it exists
+	// for API parity with x/tools).
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass is the view an Analyzer gets of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Run applies a to pkg, collecting diagnostics in file order.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	return diags, nil
+}

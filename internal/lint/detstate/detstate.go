@@ -1,0 +1,206 @@
+// Package detstate defines an analyzer that forbids nondeterminism
+// sources inside the simulator's cycle paths. The whole repo's claim to
+// reproducibility rests on the tick loop being a pure function of the
+// seed: two runs with identical configuration must produce byte-identical
+// traces (the paper's simulation methodology, §4.2, depends on exact
+// repeatability for its paired ideal-vs-real comparisons).
+//
+// A function is on a tick path when it is reachable, through the
+// package's own call graph, from a function or method named Tick, Step,
+// Route, Collect or their unexported variants. Within tick paths the
+// analyzer reports:
+//
+//   - calls to time.Now / time.Since / time.Until (wall-clock input);
+//   - uses of the global math/rand source (rand.Intn and friends) —
+//     a component must own a seeded sim.Rand instead;
+//   - range statements over map values, whose iteration order is
+//     deliberately randomized by the runtime. A loop that only collects
+//     the map's keys into a slice (to be sorted and iterated) is
+//     permitted.
+package detstate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ultracomputer/internal/lint/analysis"
+)
+
+// Analyzer is the detstate pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detstate",
+	Doc: "forbid wall-clock reads, global math/rand and unordered map iteration " +
+		"in functions reachable from Tick/Step/Route/Collect",
+	Run: run,
+}
+
+// rootNames are the entry points of the cycle loop; reachability starts
+// here.
+var rootNames = map[string]bool{
+	"Tick": true, "tick": true,
+	"Step": true, "step": true,
+	"Route": true, "route": true,
+	"Collect": true, "collect": true,
+}
+
+// globalRandFns are the math/rand package-level functions that draw from
+// the shared global source. Constructors (New, NewSource, NewZipf) are
+// fine: a seeded *rand.Rand is deterministic.
+var globalRandFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+// timeFns are the wall-clock readers.
+var timeFns = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Map every package-level function object to its declaration.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	// Intra-package call graph: obj -> callee objs.
+	callees := func(fd *ast.FuncDecl) []*types.Func {
+		var out []*types.Func
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			default:
+				return true
+			}
+			if obj, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				if _, local := decls[obj]; local {
+					out = append(out, obj)
+				}
+			}
+			return true
+		})
+		return out
+	}
+
+	// Reachability from the root names.
+	reachable := map[*types.Func]bool{}
+	var work []*types.Func
+	for obj := range decls {
+		if rootNames[obj.Name()] {
+			reachable[obj] = true
+			work = append(work, obj)
+		}
+	}
+	for len(work) > 0 {
+		obj := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, callee := range callees(decls[obj]) {
+			if !reachable[callee] {
+				reachable[callee] = true
+				work = append(work, callee)
+			}
+		}
+	}
+
+	for obj := range reachable {
+		checkFunc(pass, decls[obj])
+	}
+	return nil, nil
+}
+
+// checkFunc reports nondeterminism sources inside one tick-path function.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			pkgName, ok := qualifier(pass, n)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgName.Imported().Path() == "time" && timeFns[n.Sel.Name]:
+				pass.Reportf(n.Pos(),
+					"call to time.%s on a tick path: wall-clock input makes runs unrepeatable",
+					n.Sel.Name)
+			case pkgName.Imported().Path() == "math/rand" && globalRandFns[n.Sel.Name]:
+				pass.Reportf(n.Pos(),
+					"use of global math/rand.%s on a tick path: use a component-owned seeded sim.Rand",
+					n.Sel.Name)
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollectionLoop(n) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"range over map on a tick path: iteration order is nondeterministic; "+
+					"iterate sorted keys or keep the state slice-backed")
+		}
+		return true
+	})
+}
+
+// qualifier resolves the package a selector like time.Now is qualified
+// with, if it is a package at all.
+func qualifier(pass *analysis.Pass, sel *ast.SelectorExpr) (*types.PkgName, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return pkgName, ok
+}
+
+// isKeyCollectionLoop recognizes the one blessed map-range shape — the
+// first half of sorted-key iteration:
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// The body must be a single append of the loop key (no value use), so the
+// loop's effect is order-insensitive.
+func isKeyCollectionLoop(rs *ast.RangeStmt) bool {
+	if rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}

@@ -1,0 +1,12 @@
+package detstate_test
+
+import (
+	"testing"
+
+	"ultracomputer/internal/lint/analysis/analysistest"
+	"ultracomputer/internal/lint/detstate"
+)
+
+func TestDetstate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detstate.Analyzer, "detstate")
+}

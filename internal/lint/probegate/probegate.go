@@ -1,0 +1,258 @@
+// Package probegate defines an analyzer enforcing the observability
+// contract of internal/obs: a detached probe is a nil interface, and the
+// hot paths must pay only a nil check for it. Every call
+//
+//	p.Emit(ev)
+//
+// on a value of static type obs.Probe must therefore be dominated by a
+// nil check of the same expression — either an enclosing
+// `if p != nil { ... }` or an earlier `if p == nil { return }` in the
+// same block. An unguarded Emit either panics when the probe is detached
+// or, worse, forces the caller to build the Event unconditionally,
+// breaking the zero-alloc guarantee the obs benchmarks pin down.
+package probegate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ultracomputer/internal/lint/analysis"
+)
+
+// probePath/probeName identify the guarded interface type.
+const (
+	probePath = "ultracomputer/internal/obs"
+	probeName = "Probe"
+)
+
+// Analyzer is the probegate pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "probegate",
+	Doc:  "require every obs.Probe Emit call site to be guarded by a nil check of the probe",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBlock(pass, fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil, nil
+}
+
+// checkBlock walks one statement list in order, threading the set of
+// probe expressions (rendered as source text) known to be non-nil.
+func checkBlock(pass *analysis.Pass, stmts []ast.Stmt, guarded map[string]bool) {
+	for _, s := range stmts {
+		checkStmt(pass, s, guarded)
+		// An early return on nil (`if p == nil { return }`) guards the
+		// rest of the block.
+		if ifs, ok := s.(*ast.IfStmt); ok && ifs.Else == nil && terminates(ifs.Body) {
+			if expr := nilCheckedProbe(pass, ifs.Cond, true); expr != "" {
+				guarded = withGuard(guarded, expr)
+			}
+		}
+	}
+}
+
+// checkStmt dispatches one statement, recursing into nested blocks with
+// the appropriate guard set.
+func checkStmt(pass *analysis.Pass, s ast.Stmt, guarded map[string]bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.IfStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, guarded)
+		}
+		checkExpr(pass, s.Cond, guarded)
+		thenGuards := guarded
+		if expr := nilCheckedProbe(pass, s.Cond, false); expr != "" {
+			thenGuards = withGuard(guarded, expr)
+		}
+		checkBlock(pass, s.Body.List, thenGuards)
+		if s.Else != nil {
+			elseGuards := guarded
+			if expr := nilCheckedProbe(pass, s.Cond, true); expr != "" {
+				elseGuards = withGuard(guarded, expr)
+			}
+			checkStmt(pass, s.Else, elseGuards)
+		}
+	case *ast.BlockStmt:
+		checkBlock(pass, s.List, guarded)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, guarded)
+		}
+		if s.Cond != nil {
+			checkExpr(pass, s.Cond, guarded)
+		}
+		if s.Post != nil {
+			checkStmt(pass, s.Post, guarded)
+		}
+		checkBlock(pass, s.Body.List, guarded)
+	case *ast.RangeStmt:
+		checkExpr(pass, s.X, guarded)
+		checkBlock(pass, s.Body.List, guarded)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, guarded)
+		}
+		if s.Tag != nil {
+			checkExpr(pass, s.Tag, guarded)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				checkExpr(pass, e, guarded)
+			}
+			checkBlock(pass, cc.Body, guarded)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			checkBlock(pass, c.(*ast.CaseClause).Body, guarded)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			checkBlock(pass, c.(*ast.CommClause).Body, guarded)
+		}
+	case *ast.LabeledStmt:
+		checkStmt(pass, s.Stmt, guarded)
+	default:
+		// Leaf statements: scan contained expressions for Emit calls
+		// (and nested function literals, which start unguarded).
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				checkBlock(pass, n.Body.List, map[string]bool{})
+				return false
+			case *ast.CallExpr:
+				reportUnguardedEmit(pass, n, guarded)
+			}
+			return true
+		})
+	}
+}
+
+// checkExpr scans a non-statement expression (conditions, range
+// operands) for Emit calls and function literals.
+func checkExpr(pass *analysis.Pass, e ast.Expr, guarded map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkBlock(pass, n.Body.List, map[string]bool{})
+			return false
+		case *ast.CallExpr:
+			reportUnguardedEmit(pass, n, guarded)
+		}
+		return true
+	})
+}
+
+// reportUnguardedEmit flags call if it is probe.Emit(...) on an
+// unguarded obs.Probe expression.
+func reportUnguardedEmit(pass *analysis.Pass, call *ast.CallExpr, guarded map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isProbe(tv.Type) {
+		return
+	}
+	expr := types.ExprString(sel.X)
+	if guarded[expr] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"obs.Probe Emit on %s without a dominating nil check: a detached probe is nil, "+
+			"and the zero-alloc contract requires guarding before building the event", expr)
+}
+
+// nilCheckedProbe reports the probe expression a condition proves
+// non-nil. With wantNil false it matches `x != nil` (possibly a && ...
+// conjunct); with wantNil true it matches a bare `x == nil`.
+func nilCheckedProbe(pass *analysis.Pass, cond ast.Expr, wantNil bool) string {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return nilCheckedProbe(pass, c.X, wantNil)
+	case *ast.BinaryExpr:
+		if !wantNil && c.Op.String() == "&&" {
+			if e := nilCheckedProbe(pass, c.X, false); e != "" {
+				return e
+			}
+			return nilCheckedProbe(pass, c.Y, false)
+		}
+		wantOp := "!="
+		if wantNil {
+			wantOp = "=="
+		}
+		if c.Op.String() != wantOp {
+			return ""
+		}
+		x, y := c.X, c.Y
+		if isNilIdent(x) {
+			x, y = y, x
+		}
+		if !isNilIdent(y) {
+			return ""
+		}
+		tv, ok := pass.TypesInfo.Types[x]
+		if !ok || !isProbe(tv.Type) {
+			return ""
+		}
+		return types.ExprString(x)
+	}
+	return ""
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isProbe reports whether t is the obs.Probe interface type.
+func isProbe(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == probeName &&
+		obj.Pkg() != nil && obj.Pkg().Path() == probePath
+}
+
+// terminates reports whether a block always transfers control out
+// (return, panic, or an unconditional branch statement at the end).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// withGuard returns guarded plus expr, copying so sibling branches are
+// unaffected.
+func withGuard(guarded map[string]bool, expr string) map[string]bool {
+	out := make(map[string]bool, len(guarded)+1)
+	for k := range guarded {
+		out[k] = true
+	}
+	out[expr] = true
+	return out
+}

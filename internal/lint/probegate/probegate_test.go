@@ -1,0 +1,12 @@
+package probegate_test
+
+import (
+	"testing"
+
+	"ultracomputer/internal/lint/analysis/analysistest"
+	"ultracomputer/internal/lint/probegate"
+)
+
+func TestProbegate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), probegate.Analyzer, "probegate")
+}

@@ -1,0 +1,282 @@
+// Per-PE constant propagation over an assembled isa.Program — the
+// address-resolution half of the guest lint. The interpreter runs a
+// worklist over the program's control-flow graph with a flat constant
+// lattice per integer register (a known int64 or ⊤), specialized to one
+// PE: rdpe and rdnp produce constants, so SPMD programs that branch on
+// the PE number are analyzed along exactly the paths that PE executes
+// (conditional branches with fully known operands are pruned to their
+// taken side). Shared-memory operands whose base register stays constant
+// yield known addresses for the coherence checks in guest.go; addresses
+// that depend on runtime values (fetch-and-add tickets, loop induction
+// variables) come out ⊤ and are deliberately invisible to the lint.
+package lint
+
+import "ultracomputer/internal/isa"
+
+// val is one lattice value: a known constant or ⊤ (unknown).
+type val struct {
+	known bool
+	v     int64
+}
+
+var top = val{}
+
+func con(v int64) val { return val{known: true, v: v} }
+
+func join(a, b val) val {
+	if a.known && b.known && a.v == b.v {
+		return a
+	}
+	return top
+}
+
+// regState is the abstract integer register file at one program point.
+// r0 is hardwired zero; the float file never feeds an address, so it is
+// not tracked.
+type regState [isa.NumRegs]val
+
+func joinStates(a, b regState) (regState, bool) {
+	changed := false
+	for i := range a {
+		j := join(a[i], b[i])
+		if j != a[i] {
+			a[i] = j
+			changed = true
+		}
+	}
+	return a, changed
+}
+
+// interp is one PE's abstract execution of a program.
+type interp struct {
+	prog     *isa.Program
+	pe, npes int
+
+	in       []regState // joined state on entry to each pc
+	reached  []bool
+	retSites []int // pcs following JALs: jr successors when the target is ⊤
+}
+
+// run computes the reachable pcs and their entry states for one PE.
+func analyze(prog *isa.Program, pe, npes int) *interp {
+	n := len(prog.Instrs)
+	it := &interp{
+		prog: prog, pe: pe, npes: npes,
+		in:      make([]regState, n),
+		reached: make([]bool, n),
+	}
+	for pc, instr := range prog.Instrs {
+		if instr.Op == isa.JAL && pc+1 < n {
+			it.retSites = append(it.retSites, pc+1)
+		}
+	}
+	if n == 0 {
+		return it
+	}
+
+	// Cores power on with a zeroed register file.
+	var entry regState
+	for i := range entry {
+		entry[i] = con(0)
+	}
+	it.in[0] = entry
+	it.reached[0] = true
+	work := []int{0}
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		out, succs := it.step(pc, it.in[pc])
+		for _, s := range succs {
+			if s < 0 || s >= n {
+				continue
+			}
+			if !it.reached[s] {
+				it.reached[s] = true
+				it.in[s] = out
+				work = append(work, s)
+			} else if merged, changed := joinStates(it.in[s], out); changed {
+				it.in[s] = merged
+				work = append(work, s)
+			}
+		}
+	}
+	return it
+}
+
+// step applies the transfer function of the instruction at pc to state s,
+// returning the out-state and the successor pcs (pruned when branch
+// operands are fully known).
+func (it *interp) step(pc int, s regState) (regState, []int) {
+	in := it.prog.Instrs[pc]
+	get := func(r int) val {
+		if r == 0 {
+			return con(0)
+		}
+		return s[r]
+	}
+	set := func(r int, v val) {
+		if r != 0 {
+			s[r] = v
+		}
+	}
+	bin := func(f func(a, b int64) int64) {
+		a, b := get(in.Rs), get(in.Rt)
+		if a.known && b.known {
+			set(in.Rd, con(f(a.v, b.v)))
+		} else {
+			set(in.Rd, top)
+		}
+	}
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	next := []int{pc + 1}
+
+	switch in.Op {
+	case isa.HALT:
+		next = nil
+	case isa.NOP, isa.SW, isa.STS, isa.FSTS, isa.CSTS, isa.CFLU, isa.CREL:
+		// No integer register effect.
+	case isa.LI:
+		set(in.Rd, con(in.Imm))
+	case isa.MOV:
+		set(in.Rd, get(in.Rs))
+	case isa.ADD:
+		bin(func(a, b int64) int64 { return a + b })
+	case isa.SUB:
+		bin(func(a, b int64) int64 { return a - b })
+	case isa.MUL:
+		bin(func(a, b int64) int64 { return a * b })
+	case isa.DIV:
+		bin(func(a, b int64) int64 {
+			if b == 0 {
+				return 0
+			}
+			return a / b
+		})
+	case isa.MOD:
+		bin(func(a, b int64) int64 {
+			if b == 0 {
+				return 0
+			}
+			return a % b
+		})
+	case isa.AND:
+		bin(func(a, b int64) int64 { return a & b })
+	case isa.OR:
+		bin(func(a, b int64) int64 { return a | b })
+	case isa.XOR:
+		bin(func(a, b int64) int64 { return a ^ b })
+	case isa.SHL:
+		bin(func(a, b int64) int64 { return a << uint(b&63) })
+	case isa.SHR:
+		bin(func(a, b int64) int64 { return a >> uint(b&63) })
+	case isa.ADDI:
+		if a := get(in.Rs); a.known {
+			set(in.Rd, con(a.v+in.Imm))
+		} else {
+			set(in.Rd, top)
+		}
+	case isa.SLT:
+		bin(func(a, b int64) int64 { return b2i(a < b) })
+	case isa.SLE:
+		bin(func(a, b int64) int64 { return b2i(a <= b) })
+	case isa.SEQ:
+		bin(func(a, b int64) int64 { return b2i(a == b) })
+	case isa.SNE:
+		bin(func(a, b int64) int64 { return b2i(a != b) })
+
+	case isa.FSLT, isa.FSLE, isa.FSEQ, isa.CVTFI:
+		// Float comparisons and conversion write the int file with a
+		// value the int lattice does not model.
+		set(in.Rd, top)
+	case isa.FLI, isa.FMOV, isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV,
+		isa.FSQRT, isa.FNEG, isa.FABS, isa.CVTIF, isa.FLDS:
+		// Pure float-file effects.
+
+	case isa.LW, isa.LDS, isa.CLDS:
+		set(in.Rd, top)
+	case isa.FAA, isa.FAO, isa.FAN, isa.FAX, isa.FAI, isa.SWP:
+		set(in.Rd, top)
+
+	case isa.RDPE:
+		set(in.Rd, con(int64(it.pe)))
+	case isa.RDNP:
+		set(in.Rd, con(int64(it.npes)))
+
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		a, b := get(in.Rs), get(in.Rt)
+		if a.known && b.known {
+			taken := false
+			switch in.Op {
+			case isa.BEQ:
+				taken = a.v == b.v
+			case isa.BNE:
+				taken = a.v != b.v
+			case isa.BLT:
+				taken = a.v < b.v
+			case isa.BGE:
+				taken = a.v >= b.v
+			}
+			if taken {
+				next = []int{int(in.Imm)}
+			}
+		} else {
+			next = []int{pc + 1, int(in.Imm)}
+		}
+	case isa.JMP:
+		next = []int{int(in.Imm)}
+	case isa.JAL:
+		set(in.Rd, con(int64(pc+1)))
+		next = []int{int(in.Imm)}
+	case isa.JR:
+		if a := get(in.Rs); a.known {
+			next = []int{int(a.v)}
+		} else {
+			next = it.retSites
+		}
+	}
+	return s, next
+}
+
+// succs re-derives the successor list of a reached pc from its final
+// joined entry state, for the reachability walks of the rule checks.
+func (it *interp) succs(pc int) []int {
+	if !it.reached[pc] {
+		return nil
+	}
+	_, next := it.step(pc, it.in[pc])
+	var out []int
+	for _, s := range next {
+		if s >= 0 && s < len(it.prog.Instrs) && it.reached[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// addrOf resolves the shared address rs+imm of the memory instruction at
+// a reached pc, if the base register is a known constant there.
+func (it *interp) addrOf(pc int) (int64, bool) {
+	in := it.prog.Instrs[pc]
+	base := con(0)
+	if in.Rs != 0 {
+		base = it.in[pc][in.Rs]
+	}
+	if !base.known {
+		return 0, false
+	}
+	return base.v + in.Imm, true
+}
+
+// regVal reads the final joined value of register r at a reached pc.
+func (it *interp) regVal(pc, r int) (int64, bool) {
+	if r == 0 {
+		return 0, true
+	}
+	v := it.in[pc][r]
+	return v.v, v.known
+}

@@ -1,0 +1,11 @@
+; racy.s — seeded guest-lint fixture: every PE plain-stores its PE
+; number into the same shared word and reads it back. No fetch-and-add
+; cell, no spin flag, no release/acquire chain orders the accesses, so
+; the final value of M[500] depends on network interleaving. The lint
+; must flag the store/store and store/load pairs as shared-race.
+
+        rdpe r1
+        li   r2, 500
+        sts  r1, 0(r2)      ; all PEs store M[500] — races with every other PE
+        lds  r3, 0(r2)      ; and read it back — may see any PE's value
+        halt

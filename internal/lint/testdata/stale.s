@@ -1,0 +1,16 @@
+; stale.s — seeded guest-lint fixture for the software-coherence rules
+; of §3.4. PE 0 cached-stores a ready value into M[100] and halts
+; without a cflu, so the dirty line may never be written back
+; (unflushed-write). The other PEs spin on cached loads of M[100] with
+; no crel between iterations, so once the line is resident the spin can
+; be served from the stale copy forever (stale-read).
+
+        rdpe r1
+        li   r2, 100
+        bne  r1, r0, reader
+        li   r3, 7
+        csts r3, 0(r2)      ; dirty write-back line, never flushed
+        halt
+reader: clds r4, 0(r2)      ; cached spin: re-reads the line each trip
+        beq  r4, r0, reader
+        halt

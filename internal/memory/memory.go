@@ -50,6 +50,9 @@ func (m *Module) SetProbe(p obs.Probe) { m.probe = p }
 
 // emitBegin records the start of one MNI service.
 func (m *Module) emitBegin(r msg.Request, cycle int64) {
+	if m.probe == nil {
+		return
+	}
 	m.probe.Emit(obs.Event{
 		Cycle: cycle, Kind: obs.KindMNIBegin, PE: r.PE, Stage: -1,
 		MM: m.id, Copy: -1, ID: r.ID, Op: r.Op, Addr: r.Addr,

@@ -52,12 +52,26 @@ func (s *Stats) CombinesPerStage() []int64 {
 type Network struct {
 	cfg    Config
 	copies []*copyNet
-	next   []int            // per-PE round-robin copy index
-	via    map[uint64]int   // in-flight request ID -> copy carrying it
-	issued map[uint64]int64 // in-flight request ID -> inject cycle
-	dead   []bool           // fail-stopped copies (no new requests)
-	stats  Stats
-	probe  obs.Probe
+	next   []int // per-PE round-robin copy index
+	// inflight tracks every in-flight request by ID. Entries are created
+	// at Inject and removed when the reply is Collected, so IDs whose
+	// replies materialize by decombining (and never pass through
+	// MMReply) are cleaned up too.
+	//
+	// Determinism contract: this map is lookup-only — no method may
+	// range over it, because Go's map iteration order would leak into
+	// simulation behavior. The detstate analyzer (cmd/ultravet) rejects
+	// any map range on a Tick/Step/Route/Collect path.
+	inflight map[uint64]inflightReq
+	dead     []bool // fail-stopped copies (no new requests)
+	stats    Stats
+	probe    obs.Probe
+}
+
+// inflightReq is the bookkeeping for one in-flight request.
+type inflightReq struct {
+	copy   int   // which network copy carries it (replies must return there)
+	issued int64 // inject cycle, for round-trip latency
 }
 
 // SetProbe attaches an event probe to the network and all its copies;
@@ -78,10 +92,9 @@ func New(cfg Config) *Network {
 		panic(err)
 	}
 	n := &Network{
-		cfg:    cfg,
-		next:   make([]int, cfg.Ports()),
-		via:    make(map[uint64]int),
-		issued: make(map[uint64]int64),
+		cfg:      cfg,
+		next:     make([]int, cfg.Ports()),
+		inflight: make(map[uint64]inflightReq),
 	}
 	for i := 0; i < cfg.Copies; i++ {
 		n.copies = append(n.copies, newCopyNet(cfg, &n.stats))
@@ -138,8 +151,7 @@ func (n *Network) Inject(pe int, r msg.Request, cycle int64) bool {
 		if c.pniQ[pe].spaceFor(r.Packets()) {
 			c.pniQ[pe].push(r)
 			n.next[pe] = (ci + 1) % len(n.copies)
-			n.via[r.ID] = ci
-			n.issued[r.ID] = cycle
+			n.inflight[r.ID] = inflightReq{copy: ci, issued: cycle}
 			n.stats.Injected.Inc()
 			if n.probe != nil {
 				n.probe.Emit(obs.Event{
@@ -186,16 +198,15 @@ func (n *Network) MMPending(mm int) int {
 // reply returns through the copy that carried its request. It reports
 // false when that copy's MNI queue is full (the MM must retry).
 func (n *Network) MMReply(mm int, rep msg.Reply) bool {
-	ci, ok := n.via[rep.ID]
+	fl, ok := n.inflight[rep.ID]
 	if !ok {
 		panic(fmt.Sprintf("network: MMReply for unknown request ID %d", rep.ID))
 	}
-	c := n.copies[ci]
+	c := n.copies[fl.copy]
 	if !c.mmOut[mm].spaceFor(rep.Packets()) {
 		return false
 	}
 	c.mmOut[mm].push(rep)
-	delete(n.via, rep.ID)
 	return true
 }
 
@@ -210,9 +221,9 @@ func (n *Network) Collect(pe int, cycle int64) []msg.Reply {
 		}
 	}
 	for _, rep := range out {
-		if t0, ok := n.issued[rep.ID]; ok {
-			n.stats.RoundTrip.Observe(float64(cycle - t0))
-			delete(n.issued, rep.ID)
+		if fl, ok := n.inflight[rep.ID]; ok {
+			n.stats.RoundTrip.Observe(float64(cycle - fl.issued))
+			delete(n.inflight, rep.ID)
 		}
 		n.stats.RepliesDelivered.Inc()
 		if n.probe != nil {

@@ -214,6 +214,9 @@ func (c *copyNet) acceptReply(s, sw, inPort int, rep msg.Reply, cycle int64) boo
 
 // emitReplyHop records a reply entering a stage's ToPE queue.
 func (c *copyNet) emitReplyHop(s int, rep msg.Reply, cycle int64) {
+	if c.probe == nil {
+		return
+	}
 	c.probe.Emit(obs.Event{
 		Cycle: cycle, Kind: obs.KindReplyHop, PE: rep.PE,
 		Stage: s, MM: -1, Copy: c.copyIdx,

@@ -238,6 +238,15 @@ func (b *traceBuilder) root(id uint64) uint64 {
 	return id
 }
 
+func sortedKeys(m map[int]bool) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
 func dur(from, to int64) int64 {
 	if to > from {
 		return to - from
@@ -256,15 +265,18 @@ func (b *traceBuilder) write(w io.Writer) error {
 	meta(pidPE, "PEs")
 	meta(pidNet, "network stages")
 	meta(pidMM, "MMs")
-	for pe := range b.pes {
+	// Thread-name metadata in sorted order: the builder tracks members in
+	// maps, and ranging those directly would make two identical runs emit
+	// byte-different trace files.
+	for _, pe := range sortedKeys(b.pes) {
 		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", PID: pidPE, TID: pe,
 			Args: map[string]any{"name": fmt.Sprintf("PE %d", pe)}})
 	}
-	for s := range b.stages {
+	for _, s := range sortedKeys(b.stages) {
 		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", PID: pidNet, TID: s,
 			Args: map[string]any{"name": fmt.Sprintf("stage %d", s)}})
 	}
-	for mm := range b.mms {
+	for _, mm := range sortedKeys(b.mms) {
 		out = append(out, chromeEvent{Name: "thread_name", Ph: "M", PID: pidMM, TID: mm,
 			Args: map[string]any{"name": fmt.Sprintf("MM %d", mm)}})
 	}

@@ -75,3 +75,51 @@ func TestHistogramMergeNil(t *testing.T) {
 		t.Errorf("N after nil merge = %d, want 1", h.N())
 	}
 }
+
+// TestHistogramMergeExactSum: the merged mean must equal the mean of the
+// union of samples even when some fell into overflow — overflow samples
+// carry their true sum, not the bucket cap.
+func TestHistogramMergeExactSum(t *testing.T) {
+	a := NewHistogram(4)
+	b := NewHistogram(4)
+	samples := []int64{1, 2, 100, 7, 3, 1000}
+	var want int64
+	for i, v := range samples {
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		want += v
+	}
+	a.Merge(b)
+	if a.N() != int64(len(samples)) {
+		t.Fatalf("merged N = %d, want %d", a.N(), len(samples))
+	}
+	wantMean := float64(want) / float64(len(samples))
+	if got := a.Mean(); got != wantMean {
+		t.Fatalf("merged mean = %v, want %v", got, wantMean)
+	}
+
+	// A sequence of merges must agree with observing everything in one
+	// histogram, including bucketed values folded into overflow by a
+	// smaller cap.
+	direct := NewHistogram(4)
+	for _, v := range samples {
+		direct.Observe(v)
+	}
+	if direct.Mean() != a.Mean() || direct.Overflow() != a.Overflow() {
+		t.Fatalf("merge disagrees with direct observation: mean %v vs %v, overflow %d vs %d",
+			a.Mean(), direct.Mean(), a.Overflow(), direct.Overflow())
+	}
+
+	// Folding a large bucketed value (from a bigger histogram) into
+	// overflow must preserve its exact contribution too.
+	small := NewHistogram(4)
+	big := NewHistogram(64)
+	big.Observe(10)
+	small.Merge(big)
+	if small.Mean() != 10 {
+		t.Fatalf("folded mean = %v, want 10", small.Mean())
+	}
+}
