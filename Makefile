@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet lint test race bench-guard trace-smoke clean
+.PHONY: ci build vet lint test race bench bench-guard trace-smoke clean
 
 ci: vet lint build race test bench-guard
 
@@ -16,13 +16,20 @@ vet:
 lint:
 	$(GO) run ./cmd/ultravet ./... examples/asm/*.s
 
-# The lock-free coordination layers run under the race detector: their
-# correctness claims depend on the memory model, not just determinism.
+# The whole tree runs under the race detector: the lock-free
+# coordination layers and, since the live telemetry server, the
+# copy-on-sample hand-off between the simulation loop and HTTP handlers.
 race:
-	$(GO) test -race ./internal/para/... ./internal/coord/...
+	$(GO) test -race ./...
 
 test:
 	$(GO) test ./...
+
+# Simulator performance benchmark: the Figure 7 candidate switch shapes
+# under fixed seeded loads, written as JSON for commit-over-commit
+# comparison.
+bench:
+	$(GO) run ./cmd/netperf -bench BENCH_PR3.json
 
 # Guard the observability contract: a disabled (nil) probe must add zero
 # allocations to the hot paths, and an enabled ring recorder must not

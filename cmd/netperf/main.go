@@ -13,14 +13,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"time"
 
 	"ultracomputer/internal/analytic"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
+	"ultracomputer/internal/obs/live"
 	"ultracomputer/internal/sim"
 	"ultracomputer/internal/trace"
 )
@@ -39,10 +43,27 @@ func main() {
 	hot := flag.Float64("hot", 0, "fraction of the instrumented run's traffic aimed at a single hot word (§3.1.2 hot spot)")
 	rate := flag.Float64("rate", 0.25, "traffic intensity of the instrumented run (requests per PE per cycle)")
 	combining := flag.Bool("combining", true, "combine requests in the instrumented run (disable to expose raw tree saturation)")
+	measure := flag.Int64("measure", 8000, "measured cycles of the instrumented run (after a 1000-cycle warmup)")
+	serveAddr := flag.String("serve", "", "run the instrumented simulation with live telemetry on this address (/metrics, /snapshot.json, /events)")
+	confThreshold := flag.Float64("conformance-threshold", 0, "measured/predicted round-trip drift ratio that raises the model-conformance alert (0 = default)")
+	benchOut := flag.String("bench", "", "run the simulator benchmark suite and write JSON results to this file")
 	flag.Parse()
 
-	if *traceOut != "" || *metricsOut != "" {
-		if err := observe(*traceOut, *metricsOut, *sampleEvery, *simPorts, *rate, *hot, *combining); err != nil {
+	if *benchOut != "" {
+		if err := bench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "netperf:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *traceOut != "" || *metricsOut != "" || *serveAddr != "" {
+		opts := observeOpts{
+			tracePath: *traceOut, metricsPath: *metricsOut, serveAddr: *serveAddr,
+			every: *sampleEvery, ports: *simPorts, rate: *rate, hot: *hot,
+			combining: *combining, measure: *measure, threshold: *confThreshold,
+		}
+		if err := observe(opts); err != nil {
 			fmt.Fprintln(os.Stderr, "netperf:", err)
 			os.Exit(1)
 		}
@@ -82,49 +103,174 @@ func main() {
 	}
 }
 
+// observeOpts configures one instrumented simulation run.
+type observeOpts struct {
+	tracePath, metricsPath, serveAddr string
+	every                             int64
+	ports                             int
+	rate, hot                         float64
+	combining                         bool
+	measure                           int64
+	threshold                         float64
+}
+
 // observe drives one simulated run under synthetic traffic with the
 // event probe and metrics sampler attached, then writes the requested
 // trace and metrics files. With -hot, tree saturation toward the hot
-// module shows up in the per-stage occupancy series.
-func observe(tracePath, metricsPath string, every int64, ports int, rate, hot float64, combining bool) error {
+// module shows up in the per-stage occupancy series; with -serve the
+// same run is watchable live over HTTP, including the analytic
+// model-conformance drift that hot spots trip.
+func observe(o observeOpts) error {
 	const k = 2
 	stages := 0
-	for n := 1; n < ports; n *= k {
+	for n := 1; n < o.ports; n *= k {
 		stages++
 	}
-	cfg := network.Config{K: k, Stages: stages, Combining: combining}
+	cfg := network.Config{K: k, Stages: stages, Combining: o.combining}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	w := trace.Workload{Rate: rate, Hash: true, HotFraction: hot, HotWord: 0, Seed: 17}
+	w := trace.Workload{Rate: o.rate, Hash: true, HotFraction: o.hot, HotWord: 0, Seed: 17}
 	var rec *obs.Recorder
-	if tracePath != "" {
+	if o.tracePath != "" || o.serveAddr != "" {
 		rec = obs.NewRecorder(obs.DefaultRecorderCapacity)
 		w.Probe = rec
 	}
 	var sampler *obs.Sampler
-	if metricsPath != "" {
-		sampler = obs.NewSampler(every)
+	if o.metricsPath != "" || o.serveAddr != "" {
+		sampler = obs.NewSampler(o.every)
 		w.Sampler = sampler
 	}
-	r := trace.Run(cfg, w, 1000, 8000)
+	var feed *live.Feed
+	var srv *live.Server
+	if o.serveAddr != "" {
+		srv = live.NewServer()
+		feed = &live.Feed{
+			Server:   srv,
+			Monitor:  live.NewMonitor(live.ModelFor(cfg, 0, o.threshold)),
+			Recorder: rec,
+		}
+		feed.Attach(sampler)
+		hs, bound, err := srv.Start(o.serveAddr)
+		if err != nil {
+			return err
+		}
+		defer hs.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", bound)
+	}
+	r := trace.Run(cfg, w, 1000, o.measure)
 	fmt.Printf("instrumented run: %d ports, %d stages, rate=%.3f hot=%.2f\n  %s\n",
-		cfg.Ports(), stages, rate, hot, r)
-	if rec != nil {
-		if err := writeFile(tracePath, func(f io.Writer) error {
+		cfg.Ports(), stages, o.rate, o.hot, r)
+	if feed != nil {
+		feed.Finish()
+		if st := feed.Last(); st != nil && st.Conformance != nil {
+			c := st.Conformance
+			fmt.Printf("model conformance: %s\n", c)
+			if c.Alerts > 0 {
+				fmt.Printf("  %d alerting windows (drift > %.2f or saturation)\n", c.Alerts, c.Threshold)
+			}
+		}
+	}
+	if o.tracePath != "" {
+		if err := writeFile(o.tracePath, func(f io.Writer) error {
 			return obs.WriteChromeTrace(f, rec.Events())
 		}); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d events)\n", tracePath, rec.Len())
+		fmt.Printf("wrote %s (%d events)\n", o.tracePath, rec.Len())
 	}
-	if sampler != nil {
-		if err := writeFile(metricsPath, sampler.WriteJSONL); err != nil {
+	if o.metricsPath != "" {
+		if err := writeFile(o.metricsPath, sampler.WriteJSONL); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d samples)\n%s", metricsPath, len(sampler.Snapshots()), sampler.Summary())
+		fmt.Printf("wrote %s (%d samples)\n%s", o.metricsPath, len(sampler.Snapshots()), sampler.Summary())
+	}
+	if o.serveAddr != "" {
+		fmt.Println("run finished; serving the final snapshot until interrupted (Ctrl-C)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
 	}
 	return nil
+}
+
+// benchRow is one benchmark measurement: a (configuration, load) pair
+// driven for a fixed seeded run, reporting simulator speed and the
+// latency the simulated network delivered.
+type benchRow struct {
+	Config       string  `json:"config"`
+	K            int     `json:"k"`
+	Copies       int     `json:"copies"`
+	Ports        int     `json:"ports"`
+	Rate         float64 `json:"rate"`
+	Cycles       int64   `json:"cycles"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Injected     int64   `json:"injected"`
+	Served       int64   `json:"served"`
+	Throughput   float64 `json:"throughput"`
+	Combines     int64   `json:"combines"`
+	RTMean       float64 `json:"rt_mean"`
+	RTP50        float64 `json:"rt_p50"`
+	RTP99        float64 `json:"rt_p99"`
+}
+
+// bench runs the fixed benchmark suite — the Figure 7 candidate switch
+// shapes at two stable loads on a 64-port machine — and writes the rows
+// as JSON. Seeded runs make the traffic identical between invocations,
+// so rows are comparable across commits.
+func bench(path string) error {
+	const (
+		ports   = 64
+		warmup  = 2000
+		measure = 20000
+	)
+	shapes := []struct {
+		name      string
+		k, copies int
+	}{
+		{"k2-d1", 2, 1},
+		{"k2-d2", 2, 2},
+		{"k4-d1", 4, 1},
+	}
+	var rows []benchRow
+	for _, s := range shapes {
+		stages := 0
+		for n := 1; n < ports; n *= s.k {
+			stages++
+		}
+		cfg := network.Config{K: s.k, Stages: stages, Copies: s.copies, Combining: true}
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		for _, rate := range []float64{0.10, 0.20} {
+			start := time.Now()
+			r := trace.Run(cfg, trace.Workload{Rate: rate, Hash: true, Seed: 17}, warmup, measure)
+			wall := time.Since(start).Seconds()
+			row := benchRow{
+				Config: s.name, K: s.k, Copies: s.copies, Ports: cfg.Ports(), Rate: rate,
+				Cycles: warmup + measure, WallSeconds: wall,
+				CyclesPerSec: float64(warmup+measure) / wall,
+				Injected:     r.Injected, Served: r.Served,
+				Throughput: r.Throughput, Combines: r.Combines,
+				RTMean: r.RoundTrip.Value(), RTP50: r.RTP50, RTP99: r.RTP99,
+			}
+			rows = append(rows, row)
+			fmt.Printf("%-6s rate=%.2f  %8.0f cycles/s  rt p50=%.0f p99=%.0f  thpt=%.4f\n",
+				row.Config, row.Rate, row.CyclesPerSec, row.RTP50, row.RTP99, row.Throughput)
+		}
+	}
+	return writeFile(path, func(f io.Writer) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Ports   int        `json:"ports"`
+			Warmup  int64      `json:"warmup_cycles"`
+			Measure int64      `json:"measure_cycles"`
+			Seed    uint64     `json:"seed"`
+			Rows    []benchRow `json:"rows"`
+		}{ports, warmup, measure, 17, rows})
+	})
 }
 
 func writeFile(path string, emit func(io.Writer) error) error {

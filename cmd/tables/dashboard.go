@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"ultracomputer/internal/obs/live"
+)
+
+// runDashboard fetches one State from a live telemetry server's
+// /snapshot.json and renders it as a text dashboard — the one-shot
+// terminal view of what /metrics exposes to a scraper.
+func runDashboard(base string) error {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimSuffix(base, "/") + "/snapshot.json"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		fmt.Printf("%s: server up, nothing published yet\n", url)
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var st live.State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decoding %s: %w", url, err)
+	}
+
+	sn := &st.Snapshot
+	run := "running"
+	if st.Done {
+		run = "done"
+	}
+	fmt.Printf("Ultracomputer live dashboard — %s\n", base)
+	fmt.Printf("cycle %d  (publish %d, %s)\n\n", st.Cycle, st.Seq, run)
+	fmt.Printf("traffic     injected=%d (%.4f/cyc)  combines=%d (%.4f/cyc)  served=%d (%.4f/cyc)\n",
+		sn.Injected, sn.InjectRate, sn.Combines, sn.CombineRate, sn.MMServed, sn.ServeRate)
+	fmt.Printf("round-trip  window mean=%.1f  p50=%.0f  p99=%.0f cycles  (%d samples)\n",
+		sn.RTWindowMean, sn.RTP50, sn.RTP99, sn.RTCount)
+	fmt.Printf("wait bufs   %d records (%.3f/buffer)\n", sn.WaitBufRecords, sn.WaitBufOcc)
+	fmt.Printf("MM          busy %.0f%%  pending %.2f  skew %.2f\n\n",
+		100*sn.MMBusyFrac, sn.MMPending, st.MMSkew)
+
+	if len(sn.StageQueueOcc) > 0 {
+		fmt.Println("ToMM queue occupancy by stage (packets/queue; stage 0 = PE side)")
+		maxOcc := 0.0
+		for _, v := range sn.StageQueueOcc {
+			if v > maxOcc {
+				maxOcc = v
+			}
+		}
+		for s, v := range sn.StageQueueOcc {
+			width := 0
+			if maxOcc > 0 {
+				width = int(v / maxOcc * 24)
+			}
+			maxQ := int64(0)
+			if s < len(sn.StageQueueMax) {
+				maxQ = sn.StageQueueMax[s]
+			}
+			fmt.Printf("  %2d |%-24s| %6.2f  (fullest %d)\n",
+				s, strings.Repeat("█", width), v, maxQ)
+		}
+		fmt.Println()
+	}
+
+	if c := st.Conformance; c != nil {
+		fmt.Println("model conformance (§4.1 closed form vs measured)")
+		fmt.Printf("  %s\n", c)
+		if c.Alerts > 0 {
+			fmt.Printf("  %d alerting windows so far\n", c.Alerts)
+		}
+		for _, a := range st.Alerts {
+			kind := "drift"
+			if a.Saturated {
+				kind = "saturated"
+			}
+			fmt.Printf("    cycle=%d rho=%.4f drift=%.2f [%s]\n", a.Cycle, a.Rho, a.Drift, kind)
+		}
+		fmt.Println()
+	}
+
+	if st.Report != nil {
+		b, err := json.MarshalIndent(st.Report, "", "  ")
+		if err == nil {
+			fmt.Printf("driver report\n%s\n", b)
+		}
+	}
+	return nil
+}

@@ -7,6 +7,9 @@
 //	tables -table 0    all of them
 //
 // Each reproduced value is printed beside the paper's.
+//
+// With -from host:port it instead renders a one-shot text dashboard
+// from a running live telemetry server (ultrasim/netperf -serve).
 package main
 
 import (
@@ -23,7 +26,16 @@ func main() {
 	table := flag.Int("table", 0, "which table to regenerate (1, 2, 3; 0 = all)")
 	quick := flag.Bool("quick", false, "smaller problem sizes for a fast run")
 	jsonOut := flag.Bool("json", false, "emit Table 1 as JSON machine reports instead of the formatted table")
+	from := flag.String("from", "", "render a one-shot dashboard from a running telemetry server (host:port or URL) instead of regenerating tables")
 	flag.Parse()
+
+	if *from != "" {
+		if err := runDashboard(*from); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *table == 0 || *table == 1 {
 		runTable1(*quick, *jsonOut)

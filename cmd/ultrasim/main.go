@@ -6,6 +6,7 @@
 //
 //	ultrasim -pes 8 -k 2 -stages 4 prog.s
 //	ultrasim -pes 4 -dump 0:16 -reg 1,2,3 prog.s
+//	ultrasim -pes 64 -stages 6 -serve :8080 prog.s   # live telemetry
 //
 // The instruction set is documented in internal/isa; see examples/ for
 // sample programs.
@@ -15,7 +16,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -23,6 +26,7 @@ import (
 	"ultracomputer/internal/machine"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
+	"ultracomputer/internal/obs/live"
 )
 
 func main() {
@@ -41,6 +45,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in Perfetto)")
 	metricsOut := flag.String("metrics", "", "write sampled per-stage metrics as JSONL to this file")
 	sampleEvery := flag.Int64("sample-every", 64, "network cycles between metrics samples")
+	serveAddr := flag.String("serve", "", "serve live telemetry on this address while the run executes (/metrics, /snapshot.json, /events, /healthz, /debug/pprof/)")
+	confThreshold := flag.Float64("conformance-threshold", 0, "measured/predicted round-trip drift ratio that raises the model-conformance alert (0 = default)")
 	flag.Parse()
 
 	if *topo {
@@ -85,15 +91,47 @@ func main() {
 		fatal(err)
 	}
 	var rec *obs.Recorder
-	if *traceOut != "" {
+	if *traceOut != "" || *serveAddr != "" {
 		rec = obs.NewRecorder(obs.DefaultRecorderCapacity)
 		m.SetProbe(rec)
 	}
 	var sampler *obs.Sampler
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serveAddr != "" {
 		sampler = obs.NewSampler(*sampleEvery)
 		m.SetSampler(sampler)
 	}
+
+	// Live telemetry: the server runs beside the simulation; the only
+	// thing the sim loop does for it is publish copy-on-sample States via
+	// the sampler's OnRecord hook (see internal/obs/live).
+	var feed *live.Feed
+	var hs *http.Server
+	if *serveAddr != "" {
+		srv := live.NewServer()
+		var prevRep machine.Report
+		feed = &live.Feed{
+			Server:   srv,
+			Monitor:  live.NewMonitor(live.ModelFor(cfg.Net, cfg.MMLatency, *confThreshold)),
+			Recorder: rec,
+			Report: func() any {
+				cur := m.Report()
+				win := cur.Delta(prevRep)
+				prevRep = cur
+				return struct {
+					Total  machine.Report `json:"total"`
+					Window machine.Report `json:"window"`
+				}{cur, win}
+			},
+		}
+		feed.Attach(sampler)
+		var bound string
+		hs, bound, err = srv.Start(*serveAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry: http://%s/metrics\n", bound)
+	}
+
 	cycles, done := m.Run(*limit)
 	if !done {
 		fmt.Fprintf(os.Stderr, "warning: cycle limit reached before all PEs halted\n")
@@ -101,7 +139,18 @@ func main() {
 	fmt.Printf("ran %d PE cycles (%d network cycles)\n\n", cycles, m.Cycles())
 	fmt.Print(m.Report().String())
 
-	if rec != nil {
+	if feed != nil {
+		feed.Finish()
+		if st := feed.Last(); st != nil && st.Conformance != nil {
+			c := st.Conformance
+			fmt.Printf("model conformance: %s\n", c)
+			if c.Alerts > 0 {
+				fmt.Printf("  %d alerting windows (drift > %.2f or saturation)\n", c.Alerts, c.Threshold)
+			}
+		}
+	}
+
+	if *traceOut != "" {
 		if err := writeTrace(*traceOut, rec); err != nil {
 			fatal(err)
 		}
@@ -111,7 +160,7 @@ func main() {
 		}
 		fmt.Println(")")
 	}
-	if sampler != nil {
+	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, sampler); err != nil {
 			fatal(err)
 		}
@@ -139,6 +188,14 @@ func main() {
 				fmt.Printf("  pe%d r%d = %d\n", i, r, c.Reg(r))
 			}
 		}
+	}
+
+	if hs != nil {
+		fmt.Println("\nrun finished; serving the final snapshot until interrupted (Ctrl-C)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		hs.Close()
 	}
 }
 

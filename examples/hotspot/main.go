@@ -22,6 +22,7 @@ import (
 	"ultracomputer/internal/machine"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
+	"ultracomputer/internal/obs/live"
 	"ultracomputer/internal/pe"
 )
 
@@ -29,19 +30,20 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the combining run to this file")
 	metricsOut := flag.String("metrics", "", "write sampled per-stage metrics of the combining run as JSONL to this file")
 	sampleEvery := flag.Int64("sample-every", 16, "network cycles between metrics samples")
+	serveAddr := flag.String("serve", "", "serve live telemetry for the combining run on this address")
 	flag.Parse()
 
 	const rounds = 32
 	fmt.Println("64 PEs performing fetch-and-adds on ONE shared cell")
 	fmt.Printf("%-14s %12s %14s %12s %12s\n",
 		"switches", "PE cycles", "CM access", "combines", "MM ops")
-	run(true, rounds, *traceOut, *metricsOut, *sampleEvery)
-	run(false, rounds, "", "", 0)
+	run(true, rounds, *traceOut, *metricsOut, *sampleEvery, *serveAddr)
+	run(false, rounds, "", "", 0, "")
 	fmt.Println("\ncombining turns a serial hot spot into logarithmic fan-in:")
 	fmt.Println("memory serves far fewer operations and latency stays flat.")
 }
 
-func run(combining bool, rounds int, traceOut, metricsOut string, sampleEvery int64) {
+func run(combining bool, rounds int, traceOut, metricsOut string, sampleEvery int64, serveAddr string) {
 	cfg := machine.Config{
 		Net:     network.Config{K: 2, Stages: 6, Combining: combining},
 		Hashing: true,
@@ -52,16 +54,39 @@ func run(combining bool, rounds int, traceOut, metricsOut string, sampleEvery in
 		}
 	})
 	var rec *obs.Recorder
-	if traceOut != "" {
+	if traceOut != "" || serveAddr != "" {
 		rec = obs.NewRecorder(obs.DefaultRecorderCapacity)
 		m.SetProbe(rec)
 	}
 	var sampler *obs.Sampler
-	if metricsOut != "" {
+	if metricsOut != "" || serveAddr != "" {
+		if sampleEvery <= 0 {
+			sampleEvery = 16
+		}
 		sampler = obs.NewSampler(sampleEvery)
 		m.SetSampler(sampler)
 	}
+	var feed *live.Feed
+	if serveAddr != "" {
+		srv := live.NewServer()
+		feed = &live.Feed{
+			Server:   srv,
+			Monitor:  live.NewMonitor(live.ModelFor(cfg.Net, cfg.MMLatency, 0)),
+			Recorder: rec,
+		}
+		feed.Attach(sampler)
+		hs, bound, err := srv.Start(serveAddr)
+		check(err)
+		defer hs.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", bound)
+	}
 	cycles := m.MustRun(100_000_000)
+	if feed != nil {
+		feed.Finish()
+		if st := feed.Last(); st != nil && st.Conformance != nil {
+			fmt.Printf("model conformance: %s\n", st.Conformance)
+		}
+	}
 	if got := m.ReadShared(7); got != 64*int64(rounds) {
 		panic(fmt.Sprintf("counter = %d, want %d", got, 64*rounds))
 	}
@@ -73,14 +98,14 @@ func run(combining bool, rounds int, traceOut, metricsOut string, sampleEvery in
 	fmt.Printf("%-14s %12d %11.1f ins %12d %12d\n",
 		name, cycles, r.AvgCMAccess, r.Combines, r.MMOpsServed)
 
-	if rec != nil {
+	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		check(err)
 		check(obs.WriteChromeTrace(f, rec.Events()))
 		check(f.Close())
 		fmt.Printf("wrote %s (%d events)\n", traceOut, rec.Len())
 	}
-	if sampler != nil {
+	if metricsOut != "" {
 		f, err := os.Create(metricsOut)
 		check(err)
 		check(sampler.WriteJSONL(f))

@@ -189,18 +189,21 @@ func (b *Bank) SetProbe(p obs.Probe) {
 }
 
 // Observe fills the memory side of a periodic metrics snapshot: the
-// fraction of modules mid-access and the cumulative served count.
+// fraction of modules mid-access, the cumulative served count, and the
+// per-module served counts behind the service-skew diagnostic.
 func (b *Bank) Observe(sn *obs.Snapshot) {
 	busy := 0
-	for _, m := range b.Modules {
+	sn.MMServedPerModule = make([]int64, len(b.Modules))
+	for i, m := range b.Modules {
 		if !m.Idle() {
 			busy++
 		}
+		sn.MMServedPerModule[i] = m.Served.Value()
+		sn.MMServed += m.Served.Value()
 	}
 	if len(b.Modules) > 0 {
 		sn.MMBusyFrac = float64(busy) / float64(len(b.Modules))
 	}
-	sn.MMServed = b.TotalServed()
 }
 
 // Idle reports whether every module is idle.

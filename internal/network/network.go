@@ -23,6 +23,10 @@ type Stats struct {
 	RepliesDelivered sim.Counter
 	// RoundTrip observes inject-to-reply latency in network cycles.
 	RoundTrip sim.Mean
+	// RoundTripHist is the distribution behind RoundTrip, for tail
+	// quantiles (p50/p99). New initializes it; a Stats built by hand may
+	// leave it nil, in which case only the mean is tracked.
+	RoundTripHist *sim.Histogram
 
 	// perStageCombines counts combinations by stage (index 0 is the PE
 	// side): on a hot spot the combining tree forms across all stages.
@@ -96,6 +100,7 @@ func New(cfg Config) *Network {
 		next:     make([]int, cfg.Ports()),
 		inflight: make(map[uint64]inflightReq),
 	}
+	n.stats.RoundTripHist = sim.NewHistogram(2048)
 	for i := 0; i < cfg.Copies; i++ {
 		n.copies = append(n.copies, newCopyNet(cfg, &n.stats))
 	}
@@ -223,6 +228,9 @@ func (n *Network) Collect(pe int, cycle int64) []msg.Reply {
 	for _, rep := range out {
 		if fl, ok := n.inflight[rep.ID]; ok {
 			n.stats.RoundTrip.Observe(float64(cycle - fl.issued))
+			if n.stats.RoundTripHist != nil {
+				n.stats.RoundTripHist.Observe(cycle - fl.issued)
+			}
 			delete(n.inflight, rep.ID)
 		}
 		n.stats.RepliesDelivered.Inc()
@@ -277,10 +285,16 @@ func (n *Network) Snapshot(cycle int64) obs.Snapshot {
 			for _, q := range c.rq[s] {
 				replyPackets[s] += int64(q.occupancy())
 			}
+			for _, w := range c.wb[s] {
+				sn.WaitBufRecords += int64(w.len())
+			}
 		}
 		for _, q := range c.mmIn {
 			mmWaiting += q.len()
 		}
+	}
+	if buffers := float64(len(n.copies) * stages * n.Ports()); buffers > 0 {
+		sn.WaitBufOcc = float64(sn.WaitBufRecords) / buffers
 	}
 	sn.MMPending = float64(mmWaiting) / float64(n.Ports())
 	queuesPerStage := float64(len(n.copies) * n.Ports())
@@ -290,6 +304,12 @@ func (n *Network) Snapshot(cycle int64) obs.Snapshot {
 	}
 	sn.Injected = n.stats.Injected.Value()
 	sn.Combines = n.stats.Combines.Value()
+	sn.RTCount = n.stats.RoundTrip.N()
+	sn.RTSum = n.stats.RoundTrip.Value() * float64(n.stats.RoundTrip.N())
+	if h := n.stats.RoundTripHist; h != nil && h.N() > 0 {
+		sn.RTP50 = float64(h.Quantile(0.50))
+		sn.RTP99 = float64(h.Quantile(0.99))
+	}
 	return sn
 }
 

@@ -1,0 +1,151 @@
+package live
+
+import (
+	"math"
+	"testing"
+
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/obs"
+	"ultracomputer/internal/trace"
+)
+
+// runMonitored drives a seeded synthetic run with a serverless feed
+// attached and returns the feed after its final publish.
+func runMonitored(t *testing.T, cfg network.Config, w trace.Workload, warmup, measure int64) *Feed {
+	t.Helper()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	sampler := obs.NewSampler(512)
+	w.Sampler = sampler
+	feed := (&Feed{Monitor: NewMonitor(ModelFor(cfg, w.MMLatency, 0))}).Attach(sampler)
+	trace.Run(cfg, w, warmup, measure)
+	feed.Finish()
+	if feed.Last() == nil || feed.Last().Conformance == nil {
+		t.Fatal("run published no conformance")
+	}
+	return feed
+}
+
+// Uniform traffic at low load is the regime the paper's §4.1 analysis
+// covers, so the simulator must track the model: drift near 1 and no
+// alerts, for each candidate switch shape of Figure 7.
+func TestConformanceUniformTracksModel(t *testing.T) {
+	shapes := []struct {
+		name      string
+		k, stages int
+		copies    int
+	}{
+		{"k2-d1", 2, 6, 1},
+		{"k2-d2", 2, 6, 2},
+		{"k4-d1", 4, 3, 1},
+	}
+	for _, s := range shapes {
+		t.Run(s.name, func(t *testing.T) {
+			cfg := network.Config{K: s.k, Stages: s.stages, Copies: s.copies, Combining: true}
+			feed := runMonitored(t, cfg,
+				trace.Workload{Rate: 0.10, Hash: true, Seed: 17}, 2000, 10000)
+			st := feed.Last()
+			c := st.Conformance
+			if c.RTSamples == 0 {
+				t.Fatal("no round-trip samples in the final window")
+			}
+			if c.Drift < 0.7 || c.Drift > 1.35 {
+				t.Errorf("uniform drift = %.3f (measured %.2f predicted %.2f), want ~1",
+					c.Drift, c.MeasuredRT, c.PredictedRT)
+			}
+			if c.Alerts != 0 {
+				t.Errorf("uniform traffic raised %d alerts, want 0 (last: %s)", c.Alerts, c)
+			}
+			if c.Saturated {
+				t.Errorf("uniform low load reported saturated: %s", c)
+			}
+			if st.MMSkew > 4 {
+				t.Errorf("uniform MM skew = %.2f, want near 1", st.MMSkew)
+			}
+		})
+	}
+}
+
+// A hot spot without combining serializes at one module: measured
+// latency leaves the uniform-traffic model far behind while the offered
+// load stays modest — exactly what the drift alert is for.
+func TestConformanceHotSpotTripsAlert(t *testing.T) {
+	cfg := network.Config{K: 2, Stages: 6, Combining: false}
+	feed := runMonitored(t, cfg,
+		trace.Workload{Rate: 0.20, HotFraction: 0.5, Hash: true, Seed: 17}, 2000, 10000)
+	st := feed.Last()
+	c := st.Conformance
+	if c.Alerts == 0 {
+		t.Fatalf("hot spot raised no alerts (last: %s)", c)
+	}
+	if !c.Alert || c.Drift <= c.Threshold {
+		t.Errorf("final window not alerting: %s", c)
+	}
+	if len(st.Alerts) == 0 {
+		t.Error("state carries no alert history")
+	}
+	if st.MMSkew < 8 {
+		t.Errorf("hot-spot MM skew = %.2f, want the hot module dominating", st.MMSkew)
+	}
+}
+
+// Compare computes window quantities from snapshot deltas.
+func TestMonitorCompare(t *testing.T) {
+	m := ModelFor(network.Config{K: 2, Stages: 6, Combining: true}, 2, 0)
+	mon := NewMonitor(m)
+	prev := obs.Snapshot{Cycle: 1000, Injected: 640, RTCount: 100, RTSum: 3000}
+	cur := obs.Snapshot{Cycle: 2000, Injected: 640 + 6400, RTCount: 200, RTSum: 3000 + 3500}
+	c := mon.Compare(prev, cur)
+	if c.Window != 1000 {
+		t.Errorf("window = %d, want 1000", c.Window)
+	}
+	// 6400 injections over 1000 cycles across 64 ports = 0.1 per PE.
+	if math.Abs(c.Rho-0.10) > 1e-9 {
+		t.Errorf("rho = %v, want 0.10", c.Rho)
+	}
+	if c.RTSamples != 100 || math.Abs(c.MeasuredRT-35) > 1e-9 {
+		t.Errorf("measured = %v over %d samples, want 35 over 100", c.MeasuredRT, c.RTSamples)
+	}
+	want := m.PredictRT(0.10)
+	if math.Abs(c.PredictedRT-want) > 1e-9 {
+		t.Errorf("predicted = %v, want %v", c.PredictedRT, want)
+	}
+	if math.Abs(c.Drift-35/want) > 1e-9 {
+		t.Errorf("drift = %v, want %v", c.Drift, 35/want)
+	}
+	if c.Alert || c.Saturated {
+		t.Errorf("low-load window alerted: %+v", c)
+	}
+}
+
+// At or beyond capacity the closed form diverges; the monitor must
+// report saturation (and alert) instead of a meaningless drift.
+func TestMonitorSaturation(t *testing.T) {
+	m := ModelFor(network.Config{K: 2, Stages: 6, Combining: true}, 2, 0)
+	mon := NewMonitor(m)
+	cap := m.Net.Capacity()
+	inj := int64(cap * 1000 * 64) // exactly capacity for 1000 cycles
+	prev := obs.Snapshot{Cycle: 1000}
+	cur := obs.Snapshot{Cycle: 2000, Injected: inj, RTCount: 10, RTSum: 10000}
+	c := mon.Compare(prev, cur)
+	if !c.Saturated || !c.Alert {
+		t.Errorf("load at capacity not reported saturated: %+v", c)
+	}
+	if math.IsInf(c.Drift, 0) || math.IsNaN(c.Drift) {
+		t.Errorf("drift not finite at saturation: %v", c.Drift)
+	}
+	if mon.Alerts() != 1 {
+		t.Errorf("alerts = %d, want 1", mon.Alerts())
+	}
+}
+
+// A degenerate window (no cycles elapsed) must not divide by zero.
+func TestMonitorDegenerateWindow(t *testing.T) {
+	mon := NewMonitor(ModelFor(network.Config{K: 2, Stages: 6}, 2, 0))
+	sn := obs.Snapshot{Cycle: 500, Injected: 100}
+	c := mon.Compare(sn, sn)
+	if c.Alert || c.Rho != 0 || c.Drift != 0 {
+		t.Errorf("degenerate window produced %+v", c)
+	}
+}

@@ -1,0 +1,54 @@
+// Package live serves the simulator's telemetry over HTTP while a run
+// is in progress — the third observability layer after event probes
+// (obs.Probe/Recorder) and offline metrics series (obs.Sampler), and
+// the first concurrent consumer of simulation state in the codebase.
+//
+// # Copy-on-sample concurrency contract
+//
+// The simulation loop stays single-threaded and deterministic; the HTTP
+// server never touches live simulator state. The hand-off works like
+// production Go metrics pipelines:
+//
+//  1. Every Sampler.Every cycles the simulation goroutine records an
+//     obs.Snapshot — a freshly allocated value that aliases no mutable
+//     simulator state — and Sampler.OnRecord hands it to Feed.Publish,
+//     still on the simulation goroutine.
+//  2. Feed.Publish assembles an immutable *State (snapshot, analytic
+//     model conformance, recent probe events copied out of the ring
+//     Recorder, an optional driver-supplied report) and stores it into
+//     the Server with a single atomic pointer swap.
+//  3. HTTP handler goroutines load the pointer and read the frozen
+//     State. Nothing they do can perturb the simulation, so runs with
+//     and without -serve produce byte-identical results, and the
+//     cmd/ultravet detstate analyzer stays green: the only thing a
+//     tick path does is an atomic store of an already-copied value.
+//
+// # Endpoints
+//
+//	/metrics        Prometheus text exposition: cycle count, traffic
+//	                counters and rates, per-stage ToMM/ToPE queue
+//	                depth, combining rate, wait-buffer occupancy,
+//	                per-MM service counts and skew, round-trip
+//	                p50/p99, and the model-conformance gauges
+//	                (measured vs predicted latency, drift ratio,
+//	                alert state).
+//	/snapshot.json  The full current State as one JSON document.
+//	/events         Recent probe events as JSONL; ?follow=1 streams
+//	                new events as they are published until the run
+//	                finishes.
+//	/healthz        Liveness plus publish progress.
+//	/debug/pprof/   Standard net/http/pprof handlers.
+//
+// # Model conformance
+//
+// The Monitor evaluates the paper's §4.1 closed form
+//
+//	T = (lg n / lg k)·(1 + m²ρ(1−1/k) / 2(1−mρ)) + m − 1
+//
+// each sampling window against the load ρ actually injected in that
+// window, and compares the predicted round-trip latency against the
+// measured one. Uniform traffic tracks the model within a few percent;
+// hot-spot onset (the non-uniform traffic of §3.1.2 and the
+// tree-saturation literature) makes measured latency diverge while ρ
+// stays modest, which is exactly what the drift ratio alarms on.
+package live

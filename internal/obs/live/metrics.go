@@ -1,0 +1,100 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// writeMetrics renders st in the Prometheus text exposition format
+// (version 0.0.4), by hand — the format is three line shapes, which is
+// not worth a dependency. A nil st (nothing published yet) exposes only
+// ultra_up 0 so scrapers see the target alive but empty.
+func writeMetrics(w io.Writer, st *State) {
+	g := func(name, help string, v float64) {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return // Prometheus has +Inf literals but a diverged model gauge is noise
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	c := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	if st == nil {
+		g("ultra_up", "1 when the simulation has published at least one sample", 0)
+		return
+	}
+	g("ultra_up", "1 when the simulation has published at least one sample", 1)
+	g("ultra_cycle", "current network cycle", float64(st.Cycle))
+	g("ultra_publish_seq", "publish sequence number", float64(st.Seq))
+	b := 0.0
+	if st.Done {
+		b = 1
+	}
+	g("ultra_done", "1 once the run has finished", b)
+
+	sn := &st.Snapshot
+	c("ultra_injected_total", "requests accepted into the network", float64(sn.Injected))
+	c("ultra_combines_total", "pairwise switch combinations", float64(sn.Combines))
+	c("ultra_mm_served_total", "operations completed by memory modules", float64(sn.MMServed))
+	c("ultra_events_total", "probe events emitted", float64(st.EventsTotal))
+	g("ultra_inject_rate", "requests injected per cycle over the window", sn.InjectRate)
+	g("ultra_combine_rate", "combinations per cycle over the window", sn.CombineRate)
+	g("ultra_serve_rate", "memory operations served per cycle over the window", sn.ServeRate)
+
+	// Per-stage queue depth, one labeled series per stage (stage 0 is
+	// the PE side).
+	fmt.Fprintf(w, "# HELP ultra_stage_tomm_packets total ToMM queue occupancy per stage in packets\n# TYPE ultra_stage_tomm_packets gauge\n")
+	for s, v := range sn.StageQueuePackets {
+		fmt.Fprintf(w, "ultra_stage_tomm_packets{stage=\"%d\"} %d\n", s, v)
+	}
+	fmt.Fprintf(w, "# HELP ultra_stage_tomm_occ mean ToMM queue occupancy per stage in packets per queue\n# TYPE ultra_stage_tomm_occ gauge\n")
+	for s, v := range sn.StageQueueOcc {
+		fmt.Fprintf(w, "ultra_stage_tomm_occ{stage=\"%d\"} %g\n", s, v)
+	}
+	fmt.Fprintf(w, "# HELP ultra_stage_tomm_max fullest single ToMM queue per stage in packets\n# TYPE ultra_stage_tomm_max gauge\n")
+	for s, v := range sn.StageQueueMax {
+		fmt.Fprintf(w, "ultra_stage_tomm_max{stage=\"%d\"} %d\n", s, v)
+	}
+	fmt.Fprintf(w, "# HELP ultra_stage_tope_occ mean ToPE queue occupancy per stage in packets per queue\n# TYPE ultra_stage_tope_occ gauge\n")
+	for s, v := range sn.StageReplyOcc {
+		fmt.Fprintf(w, "ultra_stage_tope_occ{stage=\"%d\"} %g\n", s, v)
+	}
+
+	g("ultra_wait_buffer_records", "combined-request records parked in wait buffers", float64(sn.WaitBufRecords))
+	g("ultra_wait_buffer_occ", "mean records per wait buffer", sn.WaitBufOcc)
+	g("ultra_mm_busy_frac", "fraction of memory modules mid-access", sn.MMBusyFrac)
+	g("ultra_mm_pending", "mean assembled requests waiting per module", sn.MMPending)
+	g("ultra_mm_skew", "max/mean per-module served count over the window (1 = uniform)", st.MMSkew)
+	if len(sn.MMServedPerModule) > 0 {
+		fmt.Fprintf(w, "# HELP ultra_mm_module_served_total operations served per memory module\n# TYPE ultra_mm_module_served_total counter\n")
+		for mm, v := range sn.MMServedPerModule {
+			fmt.Fprintf(w, "ultra_mm_module_served_total{mm=\"%d\"} %d\n", mm, v)
+		}
+	}
+
+	c("ultra_rt_count_total", "round-trip latency samples", float64(sn.RTCount))
+	g("ultra_rt_window_mean", "mean round-trip latency over the window in network cycles", sn.RTWindowMean)
+	g("ultra_rt_p50", "cumulative round-trip latency p50 in network cycles", sn.RTP50)
+	g("ultra_rt_p99", "cumulative round-trip latency p99 in network cycles", sn.RTP99)
+
+	if cf := st.Conformance; cf != nil {
+		g("ultra_model_rho", "observed injected load in messages per PE per cycle", cf.Rho)
+		g("ultra_model_capacity", "analytic capacity d/m in messages per PE per cycle", cf.Capacity)
+		g("ultra_model_measured_rt", "measured mean round-trip latency over the window", cf.MeasuredRT)
+		g("ultra_model_predicted_rt", "analytic round-trip latency at the observed load", cf.PredictedRT)
+		g("ultra_model_drift", "measured/predicted latency ratio (1 = on model)", cf.Drift)
+		g("ultra_model_threshold", "drift ratio that raises the conformance alert", cf.Threshold)
+		b = 0
+		if cf.Alert {
+			b = 1
+		}
+		g("ultra_model_alert", "1 while the current window alerts (drift or saturation)", b)
+		b = 0
+		if cf.Saturated {
+			b = 1
+		}
+		g("ultra_model_saturated", "1 while observed load is at the model's capacity", b)
+		c("ultra_model_alerts_total", "alerting windows since the run started", float64(cf.Alerts))
+	}
+}

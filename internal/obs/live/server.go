@@ -1,0 +1,175 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"ultracomputer/internal/obs"
+)
+
+// followPollInterval is how often /events?follow=1 checks for a newer
+// published State. Polling the atomic pointer is cheap and keeps the
+// server completely decoupled from the simulation goroutine (no
+// channels into the tick loop).
+const followPollInterval = 25 * time.Millisecond
+
+// Server exposes published States over HTTP. The zero synchronization
+// cost on the simulation side is the point: Publish is one atomic
+// pointer swap, and handlers only ever read frozen States.
+type Server struct {
+	mux *http.ServeMux
+	cur atomic.Pointer[State]
+}
+
+// NewServer returns a server with all endpoints registered.
+func NewServer() *Server {
+	s := &Server{mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/snapshot.json", s.handleSnapshot)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Publish makes st the current State. st must not be mutated afterward.
+func (s *Server) Publish(st *State) { s.cur.Store(st) }
+
+// Current returns the most recently published State, or nil before the
+// first publish.
+func (s *Server) Current() *State { return s.cur.Load() }
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (":0" picks a free port), serves in a
+// background goroutine, and returns the http.Server plus the bound
+// address. Shut down with hs.Close.
+func (s *Server) Start(addr string) (hs *http.Server, bound string, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	hs = &http.Server{Handler: s.mux}
+	go func() { _ = hs.Serve(ln) }()
+	return hs, ln.Addr().String(), nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Current()
+	resp := struct {
+		OK        bool  `json:"ok"`
+		Published bool  `json:"published"`
+		Seq       int64 `json:"seq"`
+		Cycle     int64 `json:"cycle"`
+		Alerts    int   `json:"alerts"`
+		Done      bool  `json:"done"`
+	}{OK: true}
+	if st != nil {
+		resp.Published = true
+		resp.Seq = st.Seq
+		resp.Cycle = st.Cycle
+		resp.Alerts = len(st.Alerts)
+		resp.Done = st.Done
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	st := s.Current()
+	if st == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"published":false}`)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeMetrics(w, s.Current())
+}
+
+// eventJSON is the /events wire form of an obs.Event: enums as strings,
+// the address split into module and word.
+type eventJSON struct {
+	Cycle int64  `json:"cycle"`
+	Kind  string `json:"kind"`
+	Op    string `json:"op"`
+	Cause string `json:"cause,omitempty"`
+	PE    int    `json:"pe"`
+	Stage int    `json:"stage"`
+	MM    int    `json:"mm"`
+	Copy  int    `json:"copy"`
+	ID    uint64 `json:"id"`
+	ID2   uint64 `json:"id2,omitempty"`
+	AddrMM   int `json:"addr_mm"`
+	AddrWord int `json:"addr_word"`
+	Value int64 `json:"value"`
+}
+
+func toEventJSON(ev obs.Event) eventJSON {
+	cause := ""
+	if ev.Cause != obs.CauseNone {
+		cause = ev.Cause.String()
+	}
+	return eventJSON{
+		Cycle: ev.Cycle, Kind: ev.Kind.String(), Op: ev.Op.String(),
+		Cause: cause, PE: ev.PE, Stage: ev.Stage, MM: ev.MM, Copy: ev.Copy,
+		ID: ev.ID, ID2: ev.ID2,
+		AddrMM: ev.Addr.MM, AddrWord: ev.Addr.Word, Value: ev.Value,
+	}
+}
+
+// handleEvents streams recent probe events as JSONL. Without ?follow it
+// dumps the current window's events once; with ?follow=1 it keeps
+// emitting each newly published window's events until the run is done
+// or the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	follow := r.URL.Query().Get("follow") != ""
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var lastSeq int64
+	for {
+		st := s.Current()
+		if st != nil && st.Seq != lastSeq {
+			lastSeq = st.Seq
+			for _, ev := range st.Events {
+				if err := enc.Encode(toEventJSON(ev)); err != nil {
+					return
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if !follow || (st != nil && st.Done) {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(followPollInterval):
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

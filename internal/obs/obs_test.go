@@ -77,7 +77,7 @@ func TestRecorderEmitZeroAlloc(t *testing.T) {
 
 func TestSamplerRates(t *testing.T) {
 	s := NewSampler(64)
-	if !s.Due(0) || s.Due(63) || !s.Due(128) {
+	if s.Due(0) || s.Due(63) || !s.Due(64) || !s.Due(128) {
 		t.Fatalf("Due schedule wrong for Every=64")
 	}
 	s.Record(Snapshot{Cycle: 0, Injected: 0, Combines: 0, MMServed: 0,
@@ -113,6 +113,59 @@ func TestSamplerRates(t *testing.T) {
 	}
 	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != 2 {
 		t.Errorf("JSONL lines = %d, want 2", lines)
+	}
+}
+
+// TestSamplerDueGuards pins the Every <= 0 guard: a hand-built Sampler
+// (not via NewSampler) must be inert, not a division-by-zero panic, and
+// cycle 0 must never fire — the machine has no history to snapshot yet.
+func TestSamplerDueGuards(t *testing.T) {
+	for _, every := range []int64{0, -3} {
+		s := &Sampler{Every: every}
+		for _, cycle := range []int64{0, 1, 64, 1000} {
+			if s.Due(cycle) {
+				t.Errorf("Sampler{Every: %d}.Due(%d) = true, want false (disabled)", every, cycle)
+			}
+		}
+	}
+	if NewSampler(16).Due(0) {
+		t.Error("Due(0) fired: the first snapshot must land at cycle Every, not 0")
+	}
+}
+
+// TestSamplerOnRecord pins the copy-on-sample hand-off: the hook runs
+// once per Record, after the rate fields are filled.
+func TestSamplerOnRecord(t *testing.T) {
+	s := NewSampler(64)
+	var got []Snapshot
+	s.OnRecord = func(sn Snapshot) { got = append(got, sn) }
+	s.Record(Snapshot{Cycle: 64, Injected: 64, RTCount: 2, RTSum: 20})
+	s.Record(Snapshot{Cycle: 128, Injected: 192, RTCount: 6, RTSum: 100})
+	if len(got) != 2 {
+		t.Fatalf("OnRecord ran %d times, want 2", len(got))
+	}
+	if got[1].InjectRate != 2 {
+		t.Errorf("hook saw InjectRate = %v before rates were filled, want 2", got[1].InjectRate)
+	}
+	if got[1].RTWindowMean != 20 {
+		t.Errorf("RTWindowMean = %v, want 20 ((100-20)/(6-2))", got[1].RTWindowMean)
+	}
+}
+
+func TestRecorderTail(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Cycle: int64(i)})
+	}
+	tail := r.Tail(2)
+	if len(tail) != 2 || tail[0].Cycle != 8 || tail[1].Cycle != 9 {
+		t.Errorf("Tail(2) = %v, want cycles [8 9]", tail)
+	}
+	if got := r.Tail(100); len(got) != 4 {
+		t.Errorf("Tail(100) returned %d events, want the full ring (4)", len(got))
+	}
+	if r.Tail(0) != nil || r.Tail(-1) != nil {
+		t.Error("Tail of non-positive n must be nil")
 	}
 }
 

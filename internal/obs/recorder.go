@@ -56,6 +56,23 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
+// Tail returns up to n of the most recently emitted events, oldest
+// first. It copies, so the result stays valid (and safe to hand to
+// another goroutine) as the ring advances.
+func (r *Recorder) Tail(n int) []Event {
+	if n > r.n {
+		n = r.n
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(r.start+r.n-n+i)%len(r.buf)]
+	}
+	return out
+}
+
 // Reset discards all held events (capacity is kept).
 func (r *Recorder) Reset() {
 	r.start, r.n = 0, 0

@@ -36,21 +36,56 @@ type Snapshot struct {
 	MMBusyFrac float64 `json:"mm_busy_frac"`
 	MMPending  float64 `json:"mm_pending"`
 
+	// WaitBufRecords is the total number of combined-request records
+	// parked in wait buffers across all switches and copies; WaitBufOcc
+	// the mean records per wait buffer. Sustained growth means the
+	// return path cannot decombine as fast as the forward path combines.
+	WaitBufRecords int64   `json:"wait_buf_records"`
+	WaitBufOcc     float64 `json:"wait_buf_occ"`
+
 	Injected int64 `json:"injected"`
 	Combines int64 `json:"combines"`
 	MMServed int64 `json:"mm_served"`
 
+	// MMServedPerModule is the cumulative served count per memory
+	// module — the service-skew diagnostic: under uniform hashed traffic
+	// the counts stay level, under a hot spot one module races ahead.
+	MMServedPerModule []int64 `json:"mm_served_per_module,omitempty"`
+
+	// RTCount/RTSum are the cumulative round-trip sample count and sum
+	// (network cycles) measured at reply delivery; RTP50/RTP99 are
+	// quantiles of the cumulative round-trip distribution.
+	RTCount int64   `json:"rt_count"`
+	RTSum   float64 `json:"rt_sum"`
+	RTP50   float64 `json:"rt_p50"`
+	RTP99   float64 `json:"rt_p99"`
+
 	InjectRate  float64 `json:"inject_rate"`
 	CombineRate float64 `json:"combine_rate"`
 	ServeRate   float64 `json:"serve_rate"`
+	// RTWindowMean is the mean round-trip latency of replies delivered
+	// during the interval since the previous snapshot (computed by
+	// Sampler.Record like the *Rate fields); zero when no reply
+	// completed in the window.
+	RTWindowMean float64 `json:"rt_window_mean"`
 }
 
 // Sampler accumulates Snapshots every Every cycles into a time series
 // and feeds per-stage occupancy histograms for percentile summaries.
 // Drivers call Due each cycle and Record when it reports true.
 type Sampler struct {
-	// Every is the sampling interval in network cycles.
+	// Every is the sampling interval in network cycles. Non-positive
+	// intervals disable sampling: Due never reports true, so a
+	// zero-valued Sampler is inert rather than a division-by-zero trap.
 	Every int64
+
+	// OnRecord, when non-nil, receives every snapshot immediately after
+	// Record fills its rate fields — the copy-on-sample hand-off the
+	// live telemetry server (internal/obs/live) builds on. The callback
+	// runs synchronously on the simulation goroutine; recorded
+	// snapshots are immutable from this point on, so the callback may
+	// publish the value to other goroutines but must not mutate it.
+	OnRecord func(Snapshot)
 
 	snaps  []Snapshot
 	last   Snapshot
@@ -67,8 +102,14 @@ func NewSampler(every int64) *Sampler {
 	return &Sampler{Every: every}
 }
 
-// Due reports whether a snapshot should be recorded at cycle.
-func (s *Sampler) Due(cycle int64) bool { return cycle%s.Every == 0 }
+// Due reports whether a snapshot should be recorded at cycle. It is
+// false for every cycle when Every is non-positive (a Sampler built by
+// hand rather than NewSampler must not divide by zero), and false at
+// cycle 0: the machine has no history yet, so the first snapshot lands
+// at cycle Every.
+func (s *Sampler) Due(cycle int64) bool {
+	return s.Every > 0 && cycle > 0 && cycle%s.Every == 0
+}
 
 // Record appends one snapshot, filling its rate fields from the
 // previous one and updating the percentile histograms.
@@ -77,6 +118,9 @@ func (s *Sampler) Record(sn Snapshot) {
 		sn.InjectRate = float64(sn.Injected-s.last.Injected) / float64(dt)
 		sn.CombineRate = float64(sn.Combines-s.last.Combines) / float64(dt)
 		sn.ServeRate = float64(sn.MMServed-s.last.MMServed) / float64(dt)
+		if dc := sn.RTCount - s.last.RTCount; dc > 0 {
+			sn.RTWindowMean = (sn.RTSum - s.last.RTSum) / float64(dc)
+		}
 	}
 	for len(s.occ) < len(sn.StageQueuePackets) {
 		s.occ = append(s.occ, sim.NewHistogram(1024))
@@ -92,6 +136,9 @@ func (s *Sampler) Record(sn Snapshot) {
 	}
 	s.snaps = append(s.snaps, sn)
 	s.last = sn
+	if s.OnRecord != nil {
+		s.OnRecord(sn)
+	}
 }
 
 // Snapshots returns the recorded time series.

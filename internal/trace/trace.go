@@ -79,6 +79,9 @@ type Result struct {
 	OneWay sim.Mean
 	// RoundTrip observes inject-to-reply time in network cycles.
 	RoundTrip sim.Mean
+	// RTP50/RTP99 are round-trip quantiles over the whole run (warmup
+	// included — the network's cumulative distribution).
+	RTP50, RTP99 float64
 	// Throughput is served requests per PE per cycle over the
 	// measurement window.
 	Throughput float64
@@ -234,6 +237,10 @@ func Run(cfg network.Config, w Workload, warmup, measure int64) Result {
 	}
 	res.Combines = net.Stats().Combines.Value() - combinesBefore
 	res.Throughput = float64(res.Served) / float64(measure) / float64(n)
+	if h := net.Stats().RoundTripHist; h != nil && h.N() > 0 {
+		res.RTP50 = float64(h.Quantile(0.50))
+		res.RTP99 = float64(h.Quantile(0.99))
+	}
 	return res
 }
 
