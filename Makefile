@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet lint test race bench bench-guard trace-smoke clean
+.PHONY: ci build vet lint test race bench bench-guard equivalence trace-smoke clean
 
-ci: vet lint build race test bench-guard
+ci: vet lint build race test equivalence bench-guard
 
 build:
 	$(GO) build ./...
@@ -26,10 +26,21 @@ test:
 	$(GO) test ./...
 
 # Simulator performance benchmark: the Figure 7 candidate switch shapes
-# under fixed seeded loads, written as JSON for commit-over-commit
-# comparison.
+# under fixed seeded loads plus the serial-vs-parallel engine scaling
+# matrix on a 256-port machine, written as JSON for commit-over-commit
+# comparison (speedups are only meaningful on multi-core hosts; the
+# file records host_cpus).
 bench:
-	$(GO) run ./cmd/netperf -bench BENCH_PR3.json
+	$(GO) run ./cmd/netperf -bench BENCH_PR4.json
+
+# Engine equivalence: the serial and parallel engines must produce
+# byte-identical traces, metrics, reports and final state. Run under
+# the race detector (catches unsynchronized shard writes) and again
+# pinned to a single P (proves the worker barrier cannot deadlock
+# without real parallelism).
+equivalence:
+	$(GO) test -race -count=1 -run 'EngineEquivalence|RunEngineEquivalence' ./internal/machine/ ./internal/trace/
+	GOMAXPROCS=1 $(GO) test -count=1 -run 'EngineEquivalence|RunEngineEquivalence' ./internal/machine/ ./internal/trace/
 
 # Guard the observability contract: a disabled (nil) probe must add zero
 # allocations to the hot paths, and an enabled ring recorder must not

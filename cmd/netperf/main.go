@@ -19,9 +19,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"time"
 
 	"ultracomputer/internal/analytic"
+	"ultracomputer/internal/engine"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
 	"ultracomputer/internal/obs/live"
@@ -47,7 +49,16 @@ func main() {
 	serveAddr := flag.String("serve", "", "run the instrumented simulation with live telemetry on this address (/metrics, /snapshot.json, /events)")
 	confThreshold := flag.Float64("conformance-threshold", 0, "measured/predicted round-trip drift ratio that raises the model-conformance alert (0 = default)")
 	benchOut := flag.String("bench", "", "run the simulator benchmark suite and write JSON results to this file")
+	engineFlag := flag.String("engine", "serial", "execution engine for the instrumented run: serial or parallel (byte-identical outputs either way)")
+	workers := flag.Int("workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	eng, err := engine.New(*engineFlag, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netperf:", err)
+		os.Exit(2)
+	}
+	defer eng.Close()
 
 	if *benchOut != "" {
 		if err := bench(*benchOut); err != nil {
@@ -62,6 +73,7 @@ func main() {
 			tracePath: *traceOut, metricsPath: *metricsOut, serveAddr: *serveAddr,
 			every: *sampleEvery, ports: *simPorts, rate: *rate, hot: *hot,
 			combining: *combining, measure: *measure, threshold: *confThreshold,
+			eng: eng,
 		}
 		if err := observe(opts); err != nil {
 			fmt.Fprintln(os.Stderr, "netperf:", err)
@@ -112,6 +124,7 @@ type observeOpts struct {
 	combining                         bool
 	measure                           int64
 	threshold                         float64
+	eng                               engine.Engine
 }
 
 // observe drives one simulated run under synthetic traffic with the
@@ -158,7 +171,7 @@ func observe(o observeOpts) error {
 		defer hs.Close()
 		fmt.Printf("telemetry: http://%s/metrics\n", bound)
 	}
-	r := trace.Run(cfg, w, 1000, o.measure)
+	r := trace.RunEngine(cfg, w, 1000, o.measure, o.eng)
 	fmt.Printf("instrumented run: %d ports, %d stages, rate=%.3f hot=%.2f\n  %s\n",
 		cfg.Ports(), stages, o.rate, o.hot, r)
 	if feed != nil {
@@ -202,7 +215,10 @@ type benchRow struct {
 	K            int     `json:"k"`
 	Copies       int     `json:"copies"`
 	Ports        int     `json:"ports"`
+	Engine       string  `json:"engine"`
+	Workers      int     `json:"workers"`
 	Rate         float64 `json:"rate"`
+	Speedup      float64 `json:"speedup_vs_serial,omitempty"`
 	Cycles       int64   `json:"cycles"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
@@ -215,10 +231,16 @@ type benchRow struct {
 	RTP99        float64 `json:"rt_p99"`
 }
 
-// bench runs the fixed benchmark suite — the Figure 7 candidate switch
-// shapes at two stable loads on a 64-port machine — and writes the rows
-// as JSON. Seeded runs make the traffic identical between invocations,
-// so rows are comparable across commits.
+// bench runs the fixed benchmark suite and writes the rows as JSON.
+// Two sections: the Figure 7 candidate switch shapes at two stable
+// loads on a 64-port machine under the serial engine (comparable with
+// earlier commits), then an engine scaling matrix — serial versus the
+// parallel engine at several worker counts — on a 256-port machine.
+// Seeded runs make the traffic identical between invocations, and the
+// engines are byte-identical by construction, so within a worker-count
+// column only wall-clock varies. Speedups are only meaningful when
+// host_cpus/gomaxprocs allow real parallelism; the matrix records the
+// host so single-core results are not mistaken for regressions.
 func bench(path string) error {
 	const (
 		ports   = 64
@@ -233,43 +255,82 @@ func bench(path string) error {
 		{"k2-d2", 2, 2},
 		{"k4-d1", 4, 1},
 	}
-	var rows []benchRow
-	for _, s := range shapes {
+	stagesFor := func(k, ports int) int {
 		stages := 0
-		for n := 1; n < ports; n *= s.k {
+		for n := 1; n < ports; n *= k {
 			stages++
 		}
-		cfg := network.Config{K: s.k, Stages: stages, Copies: s.copies, Combining: true}
+		return stages
+	}
+	runOne := func(cfg network.Config, name string, copies int, rate float64, warmup, measure int64, eng engine.Engine, engName string, workers int) (benchRow, error) {
 		if err := cfg.Validate(); err != nil {
-			return err
+			return benchRow{}, err
 		}
+		start := time.Now()
+		r := trace.RunEngine(cfg, trace.Workload{Rate: rate, Hash: true, Seed: 17}, warmup, measure, eng)
+		wall := time.Since(start).Seconds()
+		row := benchRow{
+			Config: name, K: cfg.K, Copies: copies, Ports: cfg.Ports(),
+			Engine: engName, Workers: workers, Rate: rate,
+			Cycles: warmup + measure, WallSeconds: wall,
+			CyclesPerSec: float64(warmup+measure) / wall,
+			Injected:     r.Injected, Served: r.Served,
+			Throughput: r.Throughput, Combines: r.Combines,
+			RTMean: r.RoundTrip.Value(), RTP50: r.RTP50, RTP99: r.RTP99,
+		}
+		fmt.Printf("%-6s %-8s w=%-2d rate=%.2f  %8.0f cycles/s  rt p50=%.0f p99=%.0f  thpt=%.4f\n",
+			row.Config, row.Engine, row.Workers, row.Rate, row.CyclesPerSec, row.RTP50, row.RTP99, row.Throughput)
+		return row, nil
+	}
+
+	var rows []benchRow
+	for _, s := range shapes {
+		cfg := network.Config{K: s.k, Stages: stagesFor(s.k, ports), Copies: s.copies, Combining: true}
 		for _, rate := range []float64{0.10, 0.20} {
-			start := time.Now()
-			r := trace.Run(cfg, trace.Workload{Rate: rate, Hash: true, Seed: 17}, warmup, measure)
-			wall := time.Since(start).Seconds()
-			row := benchRow{
-				Config: s.name, K: s.k, Copies: s.copies, Ports: cfg.Ports(), Rate: rate,
-				Cycles: warmup + measure, WallSeconds: wall,
-				CyclesPerSec: float64(warmup+measure) / wall,
-				Injected:     r.Injected, Served: r.Served,
-				Throughput: r.Throughput, Combines: r.Combines,
-				RTMean: r.RoundTrip.Value(), RTP50: r.RTP50, RTP99: r.RTP99,
+			row, err := runOne(cfg, s.name, s.copies, rate, warmup, measure, nil, "serial", 0)
+			if err != nil {
+				return err
 			}
 			rows = append(rows, row)
-			fmt.Printf("%-6s rate=%.2f  %8.0f cycles/s  rt p50=%.0f p99=%.0f  thpt=%.4f\n",
-				row.Config, row.Rate, row.CyclesPerSec, row.RTP50, row.RTP99, row.Throughput)
 		}
 	}
+
+	// Engine scaling matrix on the large machine.
+	const (
+		bigPorts   = 256
+		bigWarmup  = 500
+		bigMeasure = 4000
+		bigRate    = 0.20
+	)
+	bigCfg := network.Config{K: 2, Stages: stagesFor(2, bigPorts), Combining: true}
+	serialRow, err := runOne(bigCfg, "k2-big", 1, bigRate, bigWarmup, bigMeasure, nil, "serial", 0)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, serialRow)
+	for _, w := range []int{2, 4, 8} {
+		eng := engine.NewParallel(w)
+		row, err := runOne(bigCfg, "k2-big", 1, bigRate, bigWarmup, bigMeasure, eng, "parallel", w)
+		eng.Close()
+		if err != nil {
+			return err
+		}
+		row.Speedup = serialRow.WallSeconds / row.WallSeconds
+		rows = append(rows, row)
+	}
+
 	return writeFile(path, func(f io.Writer) error {
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		return enc.Encode(struct {
-			Ports   int        `json:"ports"`
-			Warmup  int64      `json:"warmup_cycles"`
-			Measure int64      `json:"measure_cycles"`
-			Seed    uint64     `json:"seed"`
-			Rows    []benchRow `json:"rows"`
-		}{ports, warmup, measure, 17, rows})
+			Ports      int        `json:"ports"`
+			Warmup     int64      `json:"warmup_cycles"`
+			Measure    int64      `json:"measure_cycles"`
+			Seed       uint64     `json:"seed"`
+			HostCPUs   int        `json:"host_cpus"`
+			GoMaxProcs int        `json:"gomaxprocs"`
+			Rows       []benchRow `json:"rows"`
+		}{ports, warmup, measure, 17, runtime.NumCPU(), runtime.GOMAXPROCS(0), rows})
 	})
 }
 

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ultracomputer/internal/engine"
 	"ultracomputer/internal/isa"
 	"ultracomputer/internal/machine"
 	"ultracomputer/internal/network"
@@ -47,6 +48,8 @@ func main() {
 	sampleEvery := flag.Int64("sample-every", 64, "network cycles between metrics samples")
 	serveAddr := flag.String("serve", "", "serve live telemetry on this address while the run executes (/metrics, /snapshot.json, /events, /healthz, /debug/pprof/)")
 	confThreshold := flag.Float64("conformance-threshold", 0, "measured/predicted round-trip drift ratio that raises the model-conformance alert (0 = default)")
+	engineFlag := flag.String("engine", "serial", "execution engine: serial or parallel (byte-identical outputs either way)")
+	workers := flag.Int("workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *topo {
@@ -90,6 +93,12 @@ func main() {
 		}
 		fatal(err)
 	}
+	eng, err := engine.New(*engineFlag, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+	m.SetEngine(eng)
 	var rec *obs.Recorder
 	if *traceOut != "" || *serveAddr != "" {
 		rec = obs.NewRecorder(obs.DefaultRecorderCapacity)

@@ -9,6 +9,10 @@
 //	           (Tick/Step/Route/Collect)
 //	probegate  require every obs.Probe Emit call site to be guarded by
 //	           a nil check of the probe (the zero-alloc contract)
+//	stagecheck forbid Compute methods writing non-receiver shared state
+//	           and goroutine launches on Tick/Step/Compute/Commit paths
+//	           outside internal/engine (the parallel engine's phase
+//	           discipline)
 //
 // Assembly files (*.s) are assembled and run through the guest lint
 // (internal/lint): cross-PE race, stale cached read and unflushed cached
@@ -35,9 +39,10 @@ import (
 	"ultracomputer/internal/lint/analysis"
 	"ultracomputer/internal/lint/detstate"
 	"ultracomputer/internal/lint/probegate"
+	"ultracomputer/internal/lint/stagecheck"
 )
 
-var analyzers = []*analysis.Analyzer{detstate.Analyzer, probegate.Analyzer}
+var analyzers = []*analysis.Analyzer{detstate.Analyzer, probegate.Analyzer, stagecheck.Analyzer}
 
 func main() {
 	pes := flag.Int("pes", 4, "PE count assumed by the guest lint for *.s files")

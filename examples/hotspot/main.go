@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"ultracomputer/internal/engine"
 	"ultracomputer/internal/machine"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
@@ -31,19 +32,24 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write sampled per-stage metrics of the combining run as JSONL to this file")
 	sampleEvery := flag.Int64("sample-every", 16, "network cycles between metrics samples")
 	serveAddr := flag.String("serve", "", "serve live telemetry for the combining run on this address")
+	engineFlag := flag.String("engine", "serial", "execution engine: serial or parallel (byte-identical outputs either way)")
+	workers := flag.Int("workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	const rounds = 32
 	fmt.Println("64 PEs performing fetch-and-adds on ONE shared cell")
 	fmt.Printf("%-14s %12s %14s %12s %12s\n",
 		"switches", "PE cycles", "CM access", "combines", "MM ops")
-	run(true, rounds, *traceOut, *metricsOut, *sampleEvery, *serveAddr)
-	run(false, rounds, "", "", 0, "")
+	eng, err := engine.New(*engineFlag, *workers)
+	check(err)
+	defer eng.Close()
+	run(eng, true, rounds, *traceOut, *metricsOut, *sampleEvery, *serveAddr)
+	run(eng, false, rounds, "", "", 0, "")
 	fmt.Println("\ncombining turns a serial hot spot into logarithmic fan-in:")
 	fmt.Println("memory serves far fewer operations and latency stays flat.")
 }
 
-func run(combining bool, rounds int, traceOut, metricsOut string, sampleEvery int64, serveAddr string) {
+func run(eng engine.Engine, combining bool, rounds int, traceOut, metricsOut string, sampleEvery int64, serveAddr string) {
 	cfg := machine.Config{
 		Net:     network.Config{K: 2, Stages: 6, Combining: combining},
 		Hashing: true,
@@ -53,6 +59,7 @@ func run(combining bool, rounds int, traceOut, metricsOut string, sampleEvery in
 			ctx.FetchAdd(7, 1)
 		}
 	})
+	m.SetEngine(eng)
 	var rec *obs.Recorder
 	if traceOut != "" || serveAddr != "" {
 		rec = obs.NewRecorder(obs.DefaultRecorderCapacity)

@@ -1,0 +1,12 @@
+package stagecheck_test
+
+import (
+	"testing"
+
+	"ultracomputer/internal/lint/analysis/analysistest"
+	"ultracomputer/internal/lint/stagecheck"
+)
+
+func TestStagecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), stagecheck.Analyzer, "stagecheck")
+}

@@ -1,0 +1,202 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"ultracomputer/internal/engine"
+	"ultracomputer/internal/isa"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/obs"
+	"ultracomputer/internal/pe"
+)
+
+// artifact captures every observable output of a run: the Chrome trace
+// bytes, the sampled metrics JSONL bytes, the JSON report, and final
+// shared memory / register state. Engine equivalence means all of them
+// match byte for byte.
+type artifact struct {
+	trace   []byte
+	metrics []byte
+	report  []byte
+	state   []byte
+}
+
+// runArtifact executes the machine mk builds under eng (nil = serial)
+// with the full observability stack attached and returns the run's
+// complete output.
+func runArtifact(t *testing.T, mk func() (*Machine, func(m *Machine) string), eng engine.Engine) artifact {
+	t.Helper()
+	m, finalState := mk()
+	if eng != nil {
+		m.SetEngine(eng)
+	}
+	rec := obs.NewRecorder(1 << 20)
+	m.SetProbe(rec)
+	sampler := obs.NewSampler(16)
+	m.SetSampler(sampler)
+	m.MustRun(5_000_000)
+
+	var a artifact
+	var tb bytes.Buffer
+	if err := obs.WriteChromeTrace(&tb, rec.Events()); err != nil {
+		t.Fatalf("trace export: %v", err)
+	}
+	a.trace = tb.Bytes()
+	var mb bytes.Buffer
+	if err := sampler.WriteJSONL(&mb); err != nil {
+		t.Fatalf("metrics export: %v", err)
+	}
+	a.metrics = mb.Bytes()
+	rep, err := json.Marshal(m.Report())
+	if err != nil {
+		t.Fatalf("report marshal: %v", err)
+	}
+	a.report = rep
+	a.state = []byte(finalState(m))
+	return a
+}
+
+// mixedSPMD is a guest exercising every traffic class: hot-spot
+// fetch-and-adds (combining), scattered loads and stores, asynchronous
+// requests and fences.
+func mixedSPMD(cfg Config, pes int) func() (*Machine, func(*Machine) string) {
+	return func() (*Machine, func(*Machine) string) {
+		m := SPMD(cfg, pes, func(ctx *pe.Ctx) {
+			me := int64(ctx.PE())
+			for i := int64(0); i < 24; i++ {
+				ctx.FetchAdd(7, 1) // hot word
+				ctx.Store(100+me*8+i%4, me*1000+i)
+				h := ctx.LoadAsync(100 + ((me*3+i)%int64(ctx.NumPE()))*8)
+				ctx.Compute(int(i % 3))
+				ctx.FetchAdd(9+me%4, h.Wait())
+				if i%8 == 7 {
+					ctx.Fence()
+				}
+			}
+		})
+		return m, func(m *Machine) string {
+			var b bytes.Buffer
+			for a := int64(0); a < 160; a++ {
+				fmt.Fprintf(&b, "M[%d]=%d\n", a, m.ReadShared(a))
+			}
+			return b.String()
+		}
+	}
+}
+
+// guestASM loads one of the shipped assembly programs.
+func guestASM(t *testing.T, cfg Config, file string) func() (*Machine, func(*Machine) string) {
+	t.Helper()
+	src, err := os.ReadFile("../../examples/asm/" + file)
+	if err != nil {
+		t.Fatalf("read %s: %v", file, err)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		t.Fatalf("assemble %s: %v", file, err)
+	}
+	return func() (*Machine, func(*Machine) string) {
+		m, cores, err := Load(cfg, prog, LoadOptions{})
+		if err != nil {
+			t.Fatalf("load %s: %v", file, err)
+		}
+		return m, func(m *Machine) string {
+			var b bytes.Buffer
+			for a := int64(0); a < 64; a++ {
+				fmt.Fprintf(&b, "M[%d]=%d\n", a, m.ReadShared(a))
+			}
+			for i, c := range cores {
+				for r := 0; r < isa.NumRegs; r++ {
+					fmt.Fprintf(&b, "pe%d.r%d=%d\n", i, r, c.Reg(r))
+				}
+			}
+			return b.String()
+		}
+	}
+}
+
+// TestEngineEquivalence proves the tentpole determinism claim end to
+// end: the same machine run under the serial engine and under the
+// parallel engine at several worker counts (including ones that divide
+// the unit counts unevenly) produces byte-identical trace files,
+// metrics files, reports and final architectural state.
+func TestEngineEquivalence(t *testing.T) {
+	type fixture struct {
+		name string
+		mk   func() (*Machine, func(*Machine) string)
+	}
+	fixtures := []fixture{
+		{"k2-s4-combining", mixedSPMD(Config{
+			Net: network.Config{K: 2, Stages: 4, Combining: true}, Hashing: true,
+		}, 16)},
+		{"k4-s2-combining", mixedSPMD(Config{
+			Net: network.Config{K: 4, Stages: 2, Combining: true}, Hashing: true,
+		}, 16)},
+		{"k2-s3-nocombining", mixedSPMD(Config{
+			Net: network.Config{K: 2, Stages: 3},
+		}, 8)},
+		{"k2-s3-copies2", mixedSPMD(Config{
+			Net: network.Config{K: 2, Stages: 3, Copies: 2, Combining: true},
+		}, 8)},
+		{"ideal-memory", mixedSPMD(Config{
+			Net: network.Config{K: 2, Stages: 3, Combining: true}, IdealMemory: true,
+		}, 8)},
+		{"guest-queue", guestASM(t, Config{
+			Net: network.Config{K: 2, Stages: 3, Combining: true}, Hashing: true, PEs: 8,
+		}, "queue.s")},
+		{"guest-barrier", guestASM(t, Config{
+			Net: network.Config{K: 2, Stages: 3, Combining: true}, Hashing: true, PEs: 8,
+		}, "barrier.s")},
+		{"guest-rw", guestASM(t, Config{
+			Net: network.Config{K: 2, Stages: 3, Combining: true}, Hashing: true, PEs: 8,
+		}, "rw.s")},
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			want := runArtifact(t, fx.mk, nil)
+			if len(want.trace) == 0 || len(want.metrics) == 0 {
+				t.Fatal("serial run produced empty artifacts — probe or sampler not wired")
+			}
+			for _, workers := range []int{1, 3, 8} {
+				eng := engine.NewParallel(workers)
+				got := runArtifact(t, fx.mk, eng)
+				eng.Close()
+				diffArtifact(t, workers, want, got)
+			}
+		})
+	}
+}
+
+func diffArtifact(t *testing.T, workers int, want, got artifact) {
+	t.Helper()
+	cmp := func(kind string, w, g []byte) {
+		if !bytes.Equal(w, g) {
+			i := 0
+			for i < len(w) && i < len(g) && w[i] == g[i] {
+				i++
+			}
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			hiW, hiG := i+80, i+80
+			if hiW > len(w) {
+				hiW = len(w)
+			}
+			if hiG > len(g) {
+				hiG = len(g)
+			}
+			t.Errorf("workers=%d: %s differs at byte %d (serial %d bytes, parallel %d bytes)\n serial  ...%q\n parallel ...%q",
+				workers, kind, i, len(w), len(g), w[lo:hiW], g[lo:hiG])
+		}
+	}
+	cmp("trace", want.trace, got.trace)
+	cmp("metrics", want.metrics, got.metrics)
+	cmp("report", want.report, got.report)
+	cmp("final state", want.state, got.state)
+}

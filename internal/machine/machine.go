@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"ultracomputer/internal/engine"
 	"ultracomputer/internal/memory"
 	"ultracomputer/internal/msg"
 	"ultracomputer/internal/network"
@@ -72,11 +73,25 @@ type Machine struct {
 	peCycles int64 // PE cycles elapsed
 
 	sampler *obs.Sampler
+	probe   obs.Probe
+
+	// eng is the execution engine driving Step (default Serial); the
+	// stepper materializes lazily on the first Step so probes and
+	// engine can be attached in any order beforehand.
+	eng     engine.Engine
+	stepper *network.Stepper
 
 	// idealPending holds replies generated under IdealMemory during
 	// this cycle, delivered at the start of the next (one-cycle
 	// paracomputer access).
 	idealPending []idealReply
+	// tickPar marks a PE-tick phase running under a parallel engine:
+	// IdealMemory injections are then buffered per PE (idealHold) and
+	// applied in PE order after the phase barrier, reproducing the
+	// serial engine's pe-major serialization exactly.
+	tickPar      bool
+	idealHold    [][]msg.Request
+	idealBuckets [][]msg.Reply
 }
 
 type idealReply struct {
@@ -112,11 +127,15 @@ func New(cfg Config, cores []pe.Core) *Machine {
 		var inject func(msg.Request) bool
 		if cfg.IdealMemory {
 			inject = func(r msg.Request) bool {
+				if m.tickPar {
+					m.idealHold[peID] = append(m.idealHold[peID], r)
+					return true
+				}
 				m.applyIdeal(peID, r)
 				return true
 			}
 		} else {
-			inject = func(r msg.Request) bool { return m.net.Inject(peID, r, m.cycle) }
+			inject = func(r msg.Request) bool { return m.stepper.Inject(peID, r, m.cycle) }
 		}
 		m.pes = append(m.pes, pe.New(peID, cores[i], h, inject, cfg.MaxOutstanding))
 	}
@@ -163,10 +182,51 @@ func SPMD(cfg Config, n int, prog pe.Program) *Machine {
 // and any caches the programs attach. Call before the first Step. A nil
 // probe (the default) costs nothing on the hot paths.
 func (m *Machine) SetProbe(p obs.Probe) {
+	m.probe = p
 	m.net.SetProbe(p)
 	m.bank.SetProbe(p)
 	for _, pp := range m.pes {
 		pp.SetProbe(p, m.cfg.PECycle)
+	}
+}
+
+// SetEngine selects the execution engine driving Step: nil or
+// engine.Serial for the in-line reference behavior, engine.NewParallel
+// to shard each phase across a worker pool. Call before the first
+// Step. The caller owns eng and must Close it after the run. Same-seed
+// runs are byte-identical under every engine (see internal/engine).
+func (m *Machine) SetEngine(e engine.Engine) {
+	if m.stepper != nil {
+		panic("machine: SetEngine after the first Step")
+	}
+	m.eng = e
+}
+
+// ensureStepper builds the phased network driver on first use and,
+// under a parallel engine, reroutes per-PE and per-MM probes into the
+// stepper's per-unit event buffers (drained in unit order each cycle,
+// so the event stream matches a serial run byte for byte).
+func (m *Machine) ensureStepper() {
+	if m.stepper != nil {
+		return
+	}
+	if m.eng == nil {
+		m.eng = engine.Serial{}
+	}
+	m.stepper = network.NewStepper(m.net, m.eng)
+	if m.stepper.Parallel() {
+		if m.probe != nil {
+			for i, p := range m.pes {
+				p.SetProbe(m.stepper.PEProbe(i), m.cfg.PECycle)
+			}
+			for mm, mod := range m.bank.Modules {
+				mod.SetProbe(m.stepper.MMProbe(mm))
+			}
+		}
+		if m.cfg.IdealMemory {
+			m.idealHold = make([][]msg.Request, len(m.pes))
+			m.idealBuckets = make([][]msg.Reply, len(m.pes))
+		}
 	}
 }
 
@@ -196,13 +256,15 @@ func (m *Machine) Cycles() int64 { return m.cycle }
 // PECycles reports elapsed PE cycles.
 func (m *Machine) PECycles() int64 { return m.peCycles }
 
-// mmPort adapts the network's MM side to memory.Port.
+// mmPort adapts the network's MM side to memory.Port, routed through
+// the stepper so delivered-to-MM counts land in the right sink under
+// any engine.
 type mmPort struct {
 	m  *Machine
 	mm int
 }
 
-func (p mmPort) Dequeue() (msg.Request, bool) { return p.m.net.MMDequeue(p.mm) }
+func (p mmPort) Dequeue() (msg.Request, bool) { return p.m.stepper.MMDequeue(p.mm) }
 func (p mmPort) Reply(r msg.Reply) bool       { return p.m.net.MMReply(p.mm, r) }
 
 // Step advances the machine one network cycle: the network moves, memory
@@ -210,27 +272,52 @@ func (p mmPort) Reply(r msg.Reply) bool       { return p.m.net.MMReply(p.mm, r) 
 // cycles — each PE executes one instruction cycle. Under IdealMemory the
 // network and module timing are bypassed and last cycle's replies arrive
 // directly.
+//
+// Every phase runs through the configured engine (SetEngine): network
+// movement sharded by switch column, module service by MM, reply
+// delivery and instruction ticks by PE, with the stepper's flushes
+// merging buffered observability in deterministic unit order between
+// phases.
 func (m *Machine) Step() {
+	m.ensureStepper()
 	if m.cfg.IdealMemory {
-		pending := m.idealPending
-		m.idealPending = nil
-		for _, ir := range pending {
-			m.pes[ir.pe].Deliver(ir.rep, m.peCycles)
-		}
+		m.stepIdealDeliver()
 	} else {
-		m.net.Step(m.cycle)
-		for mm, mod := range m.bank.Modules {
-			mod.Step(m.cycle, mmPort{m, mm})
-		}
-		for i, p := range m.pes {
-			for _, rep := range m.net.Collect(i, m.cycle) {
-				p.Deliver(rep, m.peCycles)
+		m.stepper.Step(m.cycle)
+		m.eng.Run(len(m.bank.Modules), func(lo, hi, _ int) {
+			for mm := lo; mm < hi; mm++ {
+				m.bank.Modules[mm].Step(m.cycle, mmPort{m, mm})
 			}
-		}
+		})
+		m.stepper.FlushMM()
+		m.eng.Run(len(m.pes), func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				for _, rep := range m.stepper.Collect(i, m.cycle) {
+					m.pes[i].Deliver(rep, m.peCycles)
+				}
+			}
+		})
+		m.stepper.FlushCollect()
 	}
 	if m.cycle%m.cfg.PECycle == 0 {
-		for _, p := range m.pes {
-			p.Tick(m.peCycles, len(m.pes))
+		m.tickPar = m.stepper.Parallel()
+		m.eng.Run(len(m.pes), func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				m.pes[i].Tick(m.peCycles, len(m.pes))
+			}
+		})
+		m.tickPar = false
+		m.stepper.FlushInject()
+		if m.idealHold != nil {
+			// Apply the injections buffered during a parallel ideal
+			// tick in PE order — the serialization a serial tick
+			// produces inline.
+			for pe := range m.idealHold {
+				for _, r := range m.idealHold[pe] {
+					m.applyIdeal(pe, r)
+				}
+				m.idealHold[pe] = m.idealHold[pe][:0]
+			}
 		}
 		m.peCycles++
 	}
@@ -240,6 +327,33 @@ func (m *Machine) Step() {
 		m.sampler.Record(sn)
 	}
 	m.cycle++
+}
+
+// stepIdealDeliver hands last cycle's ideal-memory replies to their
+// PEs. Under a parallel engine the global pending list is bucketed per
+// PE first (preserving each PE's delivery order) so the phase can
+// shard by PE.
+func (m *Machine) stepIdealDeliver() {
+	pending := m.idealPending
+	m.idealPending = m.idealPending[:0]
+	if !m.stepper.Parallel() {
+		for _, ir := range pending {
+			m.pes[ir.pe].Deliver(ir.rep, m.peCycles)
+		}
+		return
+	}
+	for _, ir := range pending {
+		m.idealBuckets[ir.pe] = append(m.idealBuckets[ir.pe], ir.rep)
+	}
+	m.eng.Run(len(m.pes), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			for _, rep := range m.idealBuckets[i] {
+				m.pes[i].Deliver(rep, m.peCycles)
+			}
+			m.idealBuckets[i] = m.idealBuckets[i][:0]
+		}
+	})
+	m.stepper.DrainPEEvents()
 }
 
 // Done reports whether every PE has halted and all traffic has drained.

@@ -46,6 +46,40 @@ func (s *Stats) CombinesPerStage() []int64 {
 	return append([]int64(nil), s.perStageCombines...)
 }
 
+// addCounts folds another Stats' integer counters into s. Integer sums
+// are order-free, so per-worker scratch counters can merge in any
+// order; the order-sensitive round-trip observations never pass
+// through scratch (the Stepper replays them per PE).
+func (s *Stats) addCounts(d *Stats) {
+	s.Injected.Add(d.Injected.Value())
+	s.DeliveredToMM.Add(d.DeliveredToMM.Value())
+	s.Combines.Add(d.Combines.Value())
+	s.Decombines.Add(d.Decombines.Value())
+	s.RepliesDelivered.Add(d.RepliesDelivered.Value())
+	for stage, c := range d.perStageCombines {
+		if c == 0 {
+			continue
+		}
+		for len(s.perStageCombines) <= stage {
+			s.perStageCombines = append(s.perStageCombines, 0)
+		}
+		s.perStageCombines[stage] += c
+	}
+}
+
+// resetCounts zeroes the integer counters (scratch reuse between
+// cycles; the per-stage slice keeps its capacity).
+func (s *Stats) resetCounts() {
+	s.Injected.Reset()
+	s.DeliveredToMM.Reset()
+	s.Combines.Reset()
+	s.Decombines.Reset()
+	s.RepliesDelivered.Reset()
+	for i := range s.perStageCombines {
+		s.perStageCombines[i] = 0
+	}
+}
+
 // Network is the Ultracomputer interconnect: Copies identical Omega
 // networks over which each PE spreads its requests round-robin (§4.1).
 // The caller drives it cycle by cycle, injecting requests on the PE side,
@@ -57,16 +91,21 @@ type Network struct {
 	cfg    Config
 	copies []*copyNet
 	next   []int // per-PE round-robin copy index
-	// inflight tracks every in-flight request by ID. Entries are created
-	// at Inject and removed when the reply is Collected, so IDs whose
+	// inflight tracks every in-flight request, sharded by the issuing
+	// PE (request IDs are unique per PE; the PNI layer and the trace
+	// generators both key IDs as pe<<32|seq). Entries are created at
+	// Inject and removed when the reply is Collected, so IDs whose
 	// replies materialize by decombining (and never pass through
-	// MMReply) are cleaned up too.
+	// MMReply) are cleaned up too. The per-PE split means the PE-tick
+	// phase (insert), the MM phase (lookup by rep.PE) and the collect
+	// phase (delete) of a parallel cycle never touch a map another
+	// worker owns.
 	//
-	// Determinism contract: this map is lookup-only — no method may
-	// range over it, because Go's map iteration order would leak into
+	// Determinism contract: these maps are lookup-only — no method may
+	// range over them, because Go's map iteration order would leak into
 	// simulation behavior. The detstate analyzer (cmd/ultravet) rejects
 	// any map range on a Tick/Step/Route/Collect path.
-	inflight map[uint64]inflightReq
+	inflight []map[uint64]inflightReq
 	dead     []bool // fail-stopped copies (no new requests)
 	stats    Stats
 	probe    obs.Probe
@@ -98,7 +137,10 @@ func New(cfg Config) *Network {
 	n := &Network{
 		cfg:      cfg,
 		next:     make([]int, cfg.Ports()),
-		inflight: make(map[uint64]inflightReq),
+		inflight: make([]map[uint64]inflightReq, cfg.Ports()),
+	}
+	for i := range n.inflight {
+		n.inflight[i] = make(map[uint64]inflightReq)
 	}
 	n.stats.RoundTripHist = sim.NewHistogram(2048)
 	for i := 0; i < cfg.Copies; i++ {
@@ -142,10 +184,26 @@ func (n *Network) Stats() *Stats { return &n.stats }
 
 // Inject offers a request at PE pe's network interface. Copies are tried
 // round-robin; Inject reports false when every copy's PNI queue is full
-// (the PE must retry next cycle).
+// (the PE must retry next cycle). r.PE must equal pe: the reply path and
+// the in-flight bookkeeping are both keyed by the request's PE field.
 func (n *Network) Inject(pe int, r msg.Request, cycle int64) bool {
+	if n.injectInto(pe, r, cycle, n.probe) {
+		n.stats.Injected.Inc()
+		return true
+	}
+	return false
+}
+
+// injectInto is Inject with the counting and event emission left to the
+// caller's sink: the shared stats/probe on the serial path, per-PE
+// scratch under the parallel engine (the tick phase is sharded by PE,
+// so per-worker scratch is not addressable from an inject closure).
+func (n *Network) injectInto(pe int, r msg.Request, cycle int64, pr obs.Probe) bool {
 	if pe < 0 || pe >= n.Ports() {
 		panic(fmt.Sprintf("network: Inject at PE %d of %d", pe, n.Ports()))
+	}
+	if r.PE != pe {
+		panic(fmt.Sprintf("network: Inject at PE %d of request from PE %d", pe, r.PE))
 	}
 	for i := 0; i < len(n.copies); i++ {
 		ci := (n.next[pe] + i) % len(n.copies)
@@ -156,10 +214,9 @@ func (n *Network) Inject(pe int, r msg.Request, cycle int64) bool {
 		if c.pniQ[pe].spaceFor(r.Packets()) {
 			c.pniQ[pe].push(r)
 			n.next[pe] = (ci + 1) % len(n.copies)
-			n.inflight[r.ID] = inflightReq{copy: ci, issued: cycle}
-			n.stats.Injected.Inc()
-			if n.probe != nil {
-				n.probe.Emit(obs.Event{
+			n.inflight[pe][r.ID] = inflightReq{copy: ci, issued: cycle}
+			if pr != nil {
+				pr.Emit(obs.Event{
 					Cycle: cycle, Kind: obs.KindInject, PE: pe, Stage: -1,
 					MM: r.Addr.MM, Copy: ci, ID: r.ID, Op: r.Op, Addr: r.Addr,
 					Value: r.Operand,
@@ -203,9 +260,9 @@ func (n *Network) MMPending(mm int) int {
 // reply returns through the copy that carried its request. It reports
 // false when that copy's MNI queue is full (the MM must retry).
 func (n *Network) MMReply(mm int, rep msg.Reply) bool {
-	fl, ok := n.inflight[rep.ID]
+	fl, ok := n.inflight[rep.PE][rep.ID]
 	if !ok {
-		panic(fmt.Sprintf("network: MMReply for unknown request ID %d", rep.ID))
+		panic(fmt.Sprintf("network: MMReply for unknown request ID %d (PE %d)", rep.ID, rep.PE))
 	}
 	c := n.copies[fl.copy]
 	if !c.mmOut[mm].spaceFor(rep.Packets()) {
@@ -218,6 +275,25 @@ func (n *Network) MMReply(mm int, rep msg.Reply) bool {
 // Collect drains the replies fully received at PE pe, recording
 // round-trip latencies.
 func (n *Network) Collect(pe int, cycle int64) []msg.Reply {
+	return n.collectInto(pe, cycle, func(lat int64, known bool) {
+		if known {
+			n.stats.RoundTrip.Observe(float64(lat))
+			if n.stats.RoundTripHist != nil {
+				n.stats.RoundTripHist.Observe(lat)
+			}
+		}
+		n.stats.RepliesDelivered.Inc()
+	}, n.probe)
+}
+
+// collectInto is Collect with the latency observation and event
+// emission left to the caller: observed directly into the shared stats
+// on the serial path, buffered per PE and replayed in PE order under
+// the parallel engine — round-trip means use Welford's sequence-
+// dependent update, so the float observation order must match the
+// serial engine's exactly. onReply is called once per reply; known is
+// false for replies with no in-flight record (hand-injected in tests).
+func (n *Network) collectInto(pe int, cycle int64, onReply func(lat int64, known bool), pr obs.Probe) []msg.Reply {
 	var out []msg.Reply
 	for _, c := range n.copies {
 		if len(c.peRecv[pe]) > 0 {
@@ -226,16 +302,13 @@ func (n *Network) Collect(pe int, cycle int64) []msg.Reply {
 		}
 	}
 	for _, rep := range out {
-		if fl, ok := n.inflight[rep.ID]; ok {
-			n.stats.RoundTrip.Observe(float64(cycle - fl.issued))
-			if n.stats.RoundTripHist != nil {
-				n.stats.RoundTripHist.Observe(cycle - fl.issued)
-			}
-			delete(n.inflight, rep.ID)
+		fl, ok := n.inflight[rep.PE][rep.ID]
+		if ok {
+			delete(n.inflight[rep.PE], rep.ID)
 		}
-		n.stats.RepliesDelivered.Inc()
-		if n.probe != nil {
-			n.probe.Emit(obs.Event{
+		onReply(cycle-fl.issued, ok)
+		if pr != nil {
+			pr.Emit(obs.Event{
 				Cycle: cycle, Kind: obs.KindReplyDeliver, PE: pe, Stage: -1,
 				MM: -1, Copy: -1, ID: rep.ID, Op: rep.Op, Addr: rep.Addr,
 				Value: rep.Value,

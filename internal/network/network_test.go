@@ -322,8 +322,8 @@ func TestCopiesRoundRobin(t *testing.T) {
 	net := New(Config{K: 2, Stages: 2, Copies: 2})
 	net.Inject(0, msg.Request{ID: 1, PE: 0, Op: msg.Load, Addr: msg.Addr{MM: 1}}, 0)
 	net.Inject(0, msg.Request{ID: 2, PE: 0, Op: msg.Load, Addr: msg.Addr{MM: 2}}, 0)
-	if net.inflight[1].copy == net.inflight[2].copy {
-		t.Fatalf("both requests routed via copy %d", net.inflight[1].copy)
+	if net.inflight[0][1].copy == net.inflight[0][2].copy {
+		t.Fatalf("both requests routed via copy %d", net.inflight[0][1].copy)
 	}
 }
 

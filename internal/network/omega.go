@@ -101,10 +101,20 @@ func newCopyNet(cfg Config, st *Stats) *copyNet {
 // line converts (switch, port) to a line number within a stage.
 func (c *copyNet) line(sw, port int) int { return sw*c.topo.k + port }
 
+// sink directs one execution unit's observability output. The legacy
+// serial Step and the Stepper's serial engine point it at the shared
+// Stats and the real probe; the parallel engine points it at per-worker
+// scratch counters and a per-unit event buffer, merged in deterministic
+// unit order after each phase (see Stepper).
+type sink struct {
+	stats *Stats
+	probe obs.Probe
+}
+
 // enqueueForward routes a request into the ToMM queue of stage s selected
 // by the destination digit, attempting combination first (§3.3). It
 // reports false when the request cannot be accepted this cycle.
-func (c *copyNet) enqueueForward(s, sw int, r msg.Request, cycle int64) bool {
+func (c *copyNet) enqueueForward(s, sw int, r msg.Request, cycle int64, sk *sink) bool {
 	port := c.topo.digit(r.Addr.MM, s)
 	idx := c.line(sw, port)
 	q := c.fq[s][idx]
@@ -121,10 +131,10 @@ func (c *copyNet) enqueueForward(s, sw int, r msg.Request, cycle int64) bool {
 						a:    side{old.ID, old.PE, old.Op, aPlan},
 						b:    side{r.ID, r.PE, r.Op, bPlan},
 					})
-					c.stats.Combines.Inc()
-					c.stats.combineAtStage(s)
-					if c.probe != nil {
-						c.probe.Emit(obs.Event{
+					sk.stats.Combines.Inc()
+					sk.stats.combineAtStage(s)
+					if sk.probe != nil {
+						sk.probe.Emit(obs.Event{
 							Cycle: cycle, Kind: obs.KindCombine, PE: r.PE,
 							Stage: s, MM: -1, Copy: c.copyIdx,
 							ID: r.ID, ID2: old.ID, Op: r.Op, Addr: r.Addr,
@@ -139,8 +149,8 @@ func (c *copyNet) enqueueForward(s, sw int, r msg.Request, cycle int64) bool {
 		return false
 	}
 	q.push(r)
-	if c.probe != nil {
-		c.probe.Emit(obs.Event{
+	if sk.probe != nil {
+		sk.probe.Emit(obs.Event{
 			Cycle: cycle, Kind: obs.KindStageArrive, PE: r.PE,
 			Stage: s, MM: -1, Copy: c.copyIdx,
 			ID: r.ID, Op: r.Op, Addr: r.Addr,
@@ -162,7 +172,7 @@ type deferredReply struct {
 // record is consumed and both original replies are synthesized and routed
 // (decombination, §3.3); otherwise the reply is routed alone. It reports
 // false when the required ToPE queue space is unavailable this cycle.
-func (c *copyNet) acceptReply(s, sw, inPort int, rep msg.Reply, cycle int64) bool {
+func (c *copyNet) acceptReply(s, sw, inPort int, rep msg.Reply, cycle int64, sk *sink) bool {
 	if c.revDefer[s][sw].valid {
 		// The switch still holds an undelivered second reply; block
 		// incoming replies until it drains.
@@ -181,24 +191,24 @@ func (c *copyNet) acceptReply(s, sw, inPort int, rep msg.Reply, cycle int64) boo
 		}
 		w.take(rep.ID)
 		qa.push(ra)
-		if c.probe != nil {
-			c.probe.Emit(obs.Event{
+		if sk.probe != nil {
+			sk.probe.Emit(obs.Event{
 				Cycle: cycle, Kind: obs.KindDecombine, PE: -1,
 				Stage: s, MM: -1, Copy: c.copyIdx,
 				ID: rep.ID, ID2: rb.ID, Addr: rec.addr, Value: rep.Value,
 			})
-			c.emitReplyHop(s, ra, cycle)
+			c.emitReplyHop(s, ra, cycle, sk.probe)
 		}
 		// If qa == qb, qb's occupancy already includes ra.
 		if qb.spaceFor(rb.Packets()) {
 			qb.push(rb)
-			if c.probe != nil {
-				c.emitReplyHop(s, rb, cycle)
+			if sk.probe != nil {
+				c.emitReplyHop(s, rb, cycle, sk.probe)
 			}
 		} else {
 			c.revDefer[s][sw] = deferredReply{rep: rb, port: pb, valid: true}
 		}
-		c.stats.Decombines.Inc()
+		sk.stats.Decombines.Inc()
 		return true
 	}
 	q := c.rq[s][c.line(sw, c.topo.digit(rep.PE, s))]
@@ -206,18 +216,18 @@ func (c *copyNet) acceptReply(s, sw, inPort int, rep msg.Reply, cycle int64) boo
 		return false
 	}
 	q.push(rep)
-	if c.probe != nil {
-		c.emitReplyHop(s, rep, cycle)
+	if sk.probe != nil {
+		c.emitReplyHop(s, rep, cycle, sk.probe)
 	}
 	return true
 }
 
 // emitReplyHop records a reply entering a stage's ToPE queue.
-func (c *copyNet) emitReplyHop(s int, rep msg.Reply, cycle int64) {
-	if c.probe == nil {
+func (c *copyNet) emitReplyHop(s int, rep msg.Reply, cycle int64, pr obs.Probe) {
+	if pr == nil {
 		return
 	}
-	c.probe.Emit(obs.Event{
+	pr.Emit(obs.Event{
 		Cycle: cycle, Kind: obs.KindReplyHop, PE: rep.PE,
 		Stage: s, MM: -1, Copy: c.copyIdx,
 		ID: rep.ID, Op: rep.Op, Addr: rep.Addr, Value: rep.Value,
@@ -226,21 +236,36 @@ func (c *copyNet) emitReplyHop(s int, rep msg.Reply, cycle int64) {
 
 // flushDeferred retries delivery of held second replies into their ToPE
 // queues.
-func (c *copyNet) flushDeferred(cycle int64) {
+func (c *copyNet) flushDeferred(cycle int64, sk *sink) {
 	for s := 0; s < c.topo.stages; s++ {
 		for sw := range c.revDefer[s] {
-			d := &c.revDefer[s][sw]
-			if !d.valid {
-				continue
-			}
-			q := c.rq[s][c.line(sw, d.port)]
-			if q.spaceFor(d.rep.Packets()) {
-				q.push(d.rep)
-				d.valid = false
-				if c.probe != nil {
-					c.emitReplyHop(s, d.rep, cycle)
-				}
-			}
+			c.flushDeferredAt(s, sw, cycle, sk)
+		}
+	}
+}
+
+// flushDeferredSwitch retries the held replies of switch column sw at
+// every stage — the per-unit form the Stepper shards by switch. Its
+// (switch, stage) visiting order differs from flushDeferred's (stage,
+// switch), which is immaterial to simulation state: each register
+// touches only its own switch's ToPE queues.
+func (c *copyNet) flushDeferredSwitch(sw int, cycle int64, sk *sink) {
+	for s := 0; s < c.topo.stages; s++ {
+		c.flushDeferredAt(s, sw, cycle, sk)
+	}
+}
+
+func (c *copyNet) flushDeferredAt(s, sw int, cycle int64, sk *sink) {
+	d := &c.revDefer[s][sw]
+	if !d.valid {
+		return
+	}
+	q := c.rq[s][c.line(sw, d.port)]
+	if q.spaceFor(d.rep.Packets()) {
+		q.push(d.rep)
+		d.valid = false
+		if sk.probe != nil {
+			c.emitReplyHop(s, d.rep, cycle, sk.probe)
 		}
 	}
 }
@@ -256,8 +281,9 @@ func synthReply(sd side, addr msg.Addr, y int64) msg.Reply {
 // downstream hop is usable upstream in the same cycle while every message
 // still advances at most one stage per cycle.
 func (c *copyNet) step(cycle int64) {
-	c.stepForward(cycle)
-	c.stepReverse(cycle)
+	sk := sink{stats: c.stats, probe: c.probe}
+	c.stepForward(cycle, &sk)
+	c.stepReverse(cycle, &sk)
 }
 
 // stepForward pumps the forward links upstream-first (PNI, then stages
@@ -265,21 +291,21 @@ func (c *copyNet) step(cycle int64) {
 // service the same cycle, so an unloaded header advances one stage per
 // cycle; the ready-at-start+1 rule in pumpRequest bounds every message to
 // at most one hop per cycle.
-func (c *copyNet) stepForward(cycle int64) {
+func (c *copyNet) stepForward(cycle int64, sk *sink) {
 	t := c.topo
 	for pe := 0; pe < t.n; pe++ {
-		c.pumpRequest(&c.pniSrv[pe], cycle, -1, pe)
+		c.pumpRequest(&c.pniSrv[pe], cycle, -1, pe, sk)
 	}
 	for s := 0; s < t.stages; s++ {
 		for l := 0; l < t.n; l++ {
-			c.pumpRequest(&c.fsrv[s][l], cycle, s, l)
+			c.pumpRequest(&c.fsrv[s][l], cycle, s, l, sk)
 		}
 	}
 }
 
 // pumpRequest advances one forward link server. s == -1 denotes a PNI
 // link (l is the PE number); otherwise l = switch*k + port at stage s.
-func (c *copyNet) pumpRequest(srv *reqServer, cycle int64, s, l int) {
+func (c *copyNet) pumpRequest(srv *reqServer, cycle int64, s, l int, sk *sink) {
 	t := c.topo
 	if srv.active && !srv.delivered {
 		pk := int64(srv.req.Packets())
@@ -297,8 +323,8 @@ func (c *copyNet) pumpRequest(srv *reqServer, cycle int64, s, l int) {
 				if c.mmIn[mm].spaceFor(srv.req.Packets()) {
 					c.mmIn[mm].push(srv.req)
 					ok = true
-					if c.probe != nil {
-						c.probe.Emit(obs.Event{
+					if sk.probe != nil {
+						sk.probe.Emit(obs.Event{
 							Cycle: cycle, Kind: obs.KindMMArrive, PE: srv.req.PE,
 							Stage: -1, MM: mm, Copy: c.copyIdx,
 							ID: srv.req.ID, Op: srv.req.Op, Addr: srv.req.Addr,
@@ -309,7 +335,7 @@ func (c *copyNet) pumpRequest(srv *reqServer, cycle int64, s, l int) {
 				// The perfect shuffle wires output line l (or PE
 				// l when s == -1) to the next stage.
 				nextSw := t.shuffle(l) / t.k
-				ok = c.enqueueForward(s+1, nextSw, srv.req, cycle)
+				ok = c.enqueueForward(s+1, nextSw, srv.req, cycle, sk)
 			}
 			if ok {
 				srv.delivered = true
@@ -337,15 +363,15 @@ func (c *copyNet) pumpRequest(srv *reqServer, cycle int64, s, l int) {
 
 // stepReverse pumps the reverse links upstream-first (MNI, then stages
 // D−1..0), mirroring stepForward.
-func (c *copyNet) stepReverse(cycle int64) {
+func (c *copyNet) stepReverse(cycle int64, sk *sink) {
 	t := c.topo
-	c.flushDeferred(cycle)
+	c.flushDeferred(cycle, sk)
 	for mm := 0; mm < t.n; mm++ {
-		c.pumpReply(&c.mmSrv[mm], cycle, t.stages, mm)
+		c.pumpReply(&c.mmSrv[mm], cycle, t.stages, mm, sk)
 	}
 	for s := t.stages - 1; s >= 0; s-- {
 		for l := 0; l < t.n; l++ {
-			c.pumpReply(&c.rsrv[s][l], cycle, s, l)
+			c.pumpReply(&c.rsrv[s][l], cycle, s, l, sk)
 		}
 	}
 }
@@ -353,7 +379,7 @@ func (c *copyNet) stepReverse(cycle int64) {
 // pumpReply advances one reverse link server. s == stages denotes an MNI
 // link (l is the MM number); otherwise l = switch*k + PE-side port at
 // stage s.
-func (c *copyNet) pumpReply(srv *repServer, cycle int64, s, l int) {
+func (c *copyNet) pumpReply(srv *repServer, cycle int64, s, l int, sk *sink) {
 	t := c.topo
 	if srv.active && !srv.delivered {
 		pk := int64(srv.rep.Packets())
@@ -373,10 +399,10 @@ func (c *copyNet) pumpReply(srv *repServer, cycle int64, s, l int) {
 			case s == t.stages:
 				// MNI into the last stage: MM m is wired to
 				// switch m/k, MM-side port m%k.
-				ok = c.acceptReply(t.stages-1, l/t.k, l%t.k, srv.rep, cycle)
+				ok = c.acceptReply(t.stages-1, l/t.k, l%t.k, srv.rep, cycle, sk)
 			default:
 				prev := t.unshuffle(l)
-				ok = c.acceptReply(s-1, prev/t.k, prev%t.k, srv.rep, cycle)
+				ok = c.acceptReply(s-1, prev/t.k, prev%t.k, srv.rep, cycle, sk)
 			}
 			if ok {
 				srv.delivered = true

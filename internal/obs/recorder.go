@@ -1,10 +1,20 @@
 package obs
 
+import "sync"
+
 // Recorder is a fixed-capacity ring-buffer Probe: once full, each new
 // event overwrites the oldest, so tracing an arbitrarily long run keeps
 // the most recent window. The buffer is allocated up front and Emit
 // never allocates.
+//
+// Recorder is safe for concurrent use: the live-telemetry server tails
+// the ring from HTTP handler goroutines while the simulation emits, and
+// under the parallel execution engine Emit may be reached from a merge
+// running concurrently with those readers. A plain mutex keeps every
+// accessor coherent; it is uncontended on the hot path (the simulation
+// is the only writer).
 type Recorder struct {
+	mu          sync.Mutex
 	buf         []Event
 	start, n    int
 	total       int64
@@ -26,6 +36,8 @@ func NewRecorder(capacity int) *Recorder {
 
 // Emit implements Probe.
 func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.total++
 	if r.n < len(r.buf) {
 		r.buf[(r.start+r.n)%len(r.buf)] = ev
@@ -38,17 +50,31 @@ func (r *Recorder) Emit(ev Event) {
 }
 
 // Len reports the number of events currently held.
-func (r *Recorder) Len() int { return r.n }
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
 
 // Total reports the number of events ever emitted.
-func (r *Recorder) Total() int64 { return r.total }
+func (r *Recorder) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
 
 // Overwritten reports how many events the ring has discarded; nonzero
 // means Events covers only the tail of the run.
-func (r *Recorder) Overwritten() int64 { return r.overwritten }
+func (r *Recorder) Overwritten() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.overwritten
+}
 
 // Events returns the held events oldest-first.
 func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]Event, r.n)
 	for i := 0; i < r.n; i++ {
 		out[i] = r.buf[(r.start+i)%len(r.buf)]
@@ -60,6 +86,8 @@ func (r *Recorder) Events() []Event {
 // first. It copies, so the result stays valid (and safe to hand to
 // another goroutine) as the ring advances.
 func (r *Recorder) Tail(n int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if n > r.n {
 		n = r.n
 	}
@@ -75,6 +103,8 @@ func (r *Recorder) Tail(n int) []Event {
 
 // Reset discards all held events (capacity is kept).
 func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.start, r.n = 0, 0
 	r.total, r.overwritten = 0, 0
 }

@@ -106,6 +106,10 @@ func (g *GoCore) Tick(env *Env) TickResult {
 	if !g.started {
 		g.started = true
 		ctx := &Ctx{core: g, pe: env.PEID(), npe: env.NumPE()}
+		// The guest goroutine advances only inside this PE's own Tick
+		// via the actions channel handshake, so it never runs
+		// concurrently with phase code.
+		//stagecheck:ok
 		go func() {
 			g.prog(ctx)
 			close(g.actions)

@@ -8,7 +8,11 @@
 // table and figure in EXPERIMENTS.md is exactly reproducible.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"ultracomputer/internal/engine"
+)
 
 // Ticker is implemented by every simulated hardware component.
 //
@@ -26,10 +30,12 @@ type Ticker interface {
 	Commit(cycle int64)
 }
 
-// Clock drives a set of Tickers through two-phase cycles.
+// Clock drives a set of Tickers through two-phase cycles, optionally
+// sharding each phase across an execution engine.
 type Clock struct {
 	now     int64
 	tickers []Ticker
+	eng     engine.Engine
 }
 
 // NewClock returns a clock at cycle zero with no registered components.
@@ -43,14 +49,37 @@ func (c *Clock) Now() int64 { return c.now }
 // of that order.
 func (c *Clock) Register(ts ...Ticker) { c.tickers = append(c.tickers, ts...) }
 
-// Step advances the simulation by one cycle.
+// SetEngine selects the execution engine for Step (nil means inline
+// serial execution). Because the two-phase contract makes results
+// independent of ticking order, any engine produces identical state;
+// the caller owns eng and must Close it after the run.
+func (c *Clock) SetEngine(e engine.Engine) { c.eng = e }
+
+// Step advances the simulation by one cycle: every component's Compute,
+// a barrier, then every Commit. Under a parallel engine each phase is
+// sharded over the registered components with the barrier between
+// phases supplied by the engine's Run.
 func (c *Clock) Step() {
-	for _, t := range c.tickers {
-		t.Compute(c.now)
+	if c.eng == nil || c.eng.Workers() == 0 {
+		for _, t := range c.tickers {
+			t.Compute(c.now)
+		}
+		for _, t := range c.tickers {
+			t.Commit(c.now)
+		}
+		c.now++
+		return
 	}
-	for _, t := range c.tickers {
-		t.Commit(c.now)
-	}
+	c.eng.Run(len(c.tickers), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			c.tickers[i].Compute(c.now)
+		}
+	})
+	c.eng.Run(len(c.tickers), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			c.tickers[i].Commit(c.now)
+		}
+	})
 	c.now++
 }
 

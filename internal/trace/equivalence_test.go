@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ultracomputer/internal/engine"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/obs"
+)
+
+// traceArtifact runs the synthetic-traffic driver under eng with the
+// probe and sampler attached and returns everything observable: the
+// Result, the full event stream, and the metrics JSONL bytes.
+func traceArtifact(t *testing.T, cfg network.Config, w Workload, eng engine.Engine) (Result, []obs.Event, []byte) {
+	t.Helper()
+	rec := obs.NewRecorder(1 << 20)
+	sampler := obs.NewSampler(32)
+	w.Probe = rec
+	w.Sampler = sampler
+	res := RunEngine(cfg, w, 200, 1200, eng)
+	var mb bytes.Buffer
+	if err := sampler.WriteJSONL(&mb); err != nil {
+		t.Fatalf("metrics export: %v", err)
+	}
+	return res, rec.Events(), mb.Bytes()
+}
+
+// TestRunEngineEquivalence checks the synthetic-traffic runner the same
+// way the machine suite checks machine.Step: serial and parallel
+// engines must produce identical Results, identical event streams and
+// identical metrics bytes for the same seed, across the Figure 7
+// switch shapes and workload variants (hot spot, bursty, copies).
+func TestRunEngineEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  network.Config
+		w    Workload
+	}{
+		{"k2-uniform", network.Config{K: 2, Stages: 4, Combining: true},
+			Workload{Rate: 0.2, Hash: true, Seed: 17}},
+		{"k4-uniform", network.Config{K: 4, Stages: 2, Combining: true},
+			Workload{Rate: 0.2, Hash: true, Seed: 17}},
+		{"k2-copies2-hot", network.Config{K: 2, Stages: 3, Copies: 2, Combining: true},
+			Workload{Rate: 0.25, HotFraction: 0.3, Seed: 5}},
+		{"k2-bursty-mixedops", network.Config{K: 2, Stages: 4, Combining: true},
+			Workload{Rate: 0.15, Burstiness: 16, LoadFrac: 0.4, StoreFrac: 0.3, Hash: true, Seed: 99}},
+		{"k2-nocombining", network.Config{K: 2, Stages: 3},
+			Workload{Rate: 0.1, Seed: 3}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			wantRes, wantEv, wantMet := traceArtifact(t, tc.cfg, tc.w, nil)
+			if len(wantEv) == 0 {
+				t.Fatal("serial run emitted no events")
+			}
+			if wantRes.Served == 0 {
+				t.Fatal("serial run served nothing — workload too light to prove anything")
+			}
+			for _, workers := range []int{1, 3, 8} {
+				eng := engine.NewParallel(workers)
+				gotRes, gotEv, gotMet := traceArtifact(t, tc.cfg, tc.w, eng)
+				eng.Close()
+				if sr, gr := resultKey(wantRes), resultKey(gotRes); sr != gr {
+					t.Errorf("workers=%d: Result differs\n serial  %s\n parallel %s", workers, sr, gr)
+				}
+				if len(wantEv) != len(gotEv) {
+					t.Errorf("workers=%d: %d events serial vs %d parallel", workers, len(wantEv), len(gotEv))
+				} else {
+					for i := range wantEv {
+						if wantEv[i] != gotEv[i] {
+							t.Errorf("workers=%d: event %d differs\n serial  %+v\n parallel %+v",
+								workers, i, wantEv[i], gotEv[i])
+							break
+						}
+					}
+				}
+				if !bytes.Equal(wantMet, gotMet) {
+					t.Errorf("workers=%d: metrics JSONL differs", workers)
+				}
+			}
+		})
+	}
+}
+
+// resultKey renders every field of a Result into a comparable string
+// (histograms and means included via their observable summaries).
+func resultKey(r Result) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s p50=%v p99=%v oneway={%v %v} rt={%v %v} perMM=%v",
+		r.String(), r.RTP50, r.RTP99, r.OneWay.N(), r.OneWay.Value(),
+		r.RoundTrip.N(), r.RoundTrip.Value(), r.PerModuleServed)
+	if r.QueueLen != nil {
+		fmt.Fprintf(&b, " qlen=%+v", *r.QueueLen)
+	}
+	return b.String()
+}
