@@ -10,9 +10,10 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static analysis (cmd/ultravet): host-side determinism and probe-guard
-# analyzers over every package, then the guest coherence/race lint over
-# the shipped assembly examples.
+# Static analysis (cmd/ultravet): the five host analyzers (see
+# `ultravet -list`) over every package plus the guest coherence/race
+# lint over the shipped assembly examples, diffed against the committed
+# .ultravet-baseline.json — the build fails only on NEW findings.
 lint:
 	$(GO) run ./cmd/ultravet ./... examples/asm/*.s
 

@@ -2,122 +2,289 @@
 // halves, selected by the kind of argument:
 //
 // Go packages (directories, or the literal ./... to expand the module)
-// run the host-side analyzers over the simulator's own sources:
+// run the host-side analyzers over the simulator's own sources. The
+// per-package analyzers (detstate, probegate) inspect one package at a
+// time; the whole-program analyzers (stagecheck, sharecheck, hotalloc)
+// run once over a module-wide call graph with interprocedural write-set
+// summaries (internal/lint/analysis):
 //
 //	detstate   forbid wall-clock reads, global math/rand and unordered
 //	           map iteration in functions reachable from the cycle loop
-//	           (Tick/Step/Route/Collect)
 //	probegate  require every obs.Probe Emit call site to be guarded by
 //	           a nil check of the probe (the zero-alloc contract)
 //	stagecheck forbid Compute methods writing non-receiver shared state
-//	           and goroutine launches on Tick/Step/Compute/Commit paths
-//	           outside internal/engine (the parallel engine's phase
-//	           discipline)
+//	           and goroutine launches on phase paths outside
+//	           internal/engine
+//	sharecheck verify that everything transitively reachable from a
+//	           Compute-phase entry point writes only shard-owned state
+//	hotalloc   flag heap-allocation sites reachable from the cycle loop
 //
 // Assembly files (*.s) are assembled and run through the guest lint
-// (internal/lint): cross-PE race, stale cached read and unflushed cached
-// write checks over the program each of -pes PEs would execute.
+// (internal/lint): cross-PE race, stale cached read, unflushed cached
+// write and — with -copies > 1 — late-flush checks over the program
+// each of -pes PEs would execute.
+//
+// Intentional findings are silenced in source with
+// `//ultravet:ok <analyzer> <reason>`; everything else accumulates in a
+// committed baseline (-baseline, default .ultravet-baseline.json) and
+// the exit status is 1 only when a finding is NOT in the baseline — CI
+// fails on new findings, not on the accepted backlog. IDs are stable
+// across unrelated edits (they hash analyzer, file and message, never
+// line numbers).
 //
 // Usage:
 //
-//	ultravet ./...
-//	ultravet -pes 8 examples/asm/queue.s
-//	ultravet ./... examples/asm/*.s
-//
-// Diagnostics print as file:line:col: analyzer: message; any finding
-// makes the exit status 1.
+//	ultravet ./...                          # text diagnostics, baseline diff
+//	ultravet -json ./...                    # all findings as JSON
+//	ultravet -write-baseline ./...          # accept the current findings
+//	ultravet -enable sharecheck,hotalloc ./...
+//	ultravet -list
+//	ultravet -pes 8 -copies 2 examples/asm/tickets.s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"ultracomputer/internal/isa"
 	"ultracomputer/internal/lint"
 	"ultracomputer/internal/lint/analysis"
 	"ultracomputer/internal/lint/detstate"
+	"ultracomputer/internal/lint/findings"
+	"ultracomputer/internal/lint/hotalloc"
 	"ultracomputer/internal/lint/probegate"
+	"ultracomputer/internal/lint/sharecheck"
 	"ultracomputer/internal/lint/stagecheck"
 )
 
-var analyzers = []*analysis.Analyzer{detstate.Analyzer, probegate.Analyzer, stagecheck.Analyzer}
+// registry lists every host analyzer in stable order.
+var registry = []*analysis.Analyzer{
+	detstate.Analyzer,
+	probegate.Analyzer,
+	stagecheck.Analyzer,
+	sharecheck.Analyzer,
+	hotalloc.Analyzer,
+}
 
 func main() {
-	pes := flag.Int("pes", 4, "PE count assumed by the guest lint for *.s files")
+	var (
+		pes      = flag.Int("pes", 4, "PE count assumed by the guest lint for *.s files")
+		copies   = flag.Int("copies", 1, "network copies assumed by the guest lint (Copies > 1 enables the late-flush rule)")
+		jsonOut  = flag.Bool("json", false, "print every finding as a JSON array (stable IDs, canonical order)")
+		baseline = flag.String("baseline", ".ultravet-baseline.json", "accepted-findings file; exit 1 only on findings missing from it (empty string disables)")
+		writeBL  = flag.Bool("write-baseline", false, "write the current findings to the baseline file and exit 0")
+		list     = flag.Bool("list", false, "list the registered analyzers and exit")
+		enable   = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable  = flag.String("disable", "", "comma-separated analyzers to skip")
+	)
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ultravet [-pes N] [./... | dir | prog.s] ...")
+		fmt.Fprintln(os.Stderr, "usage: ultravet [flags] [./... | dir | prog.s] ...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *list {
+		for _, a := range registry {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("%-11s %s\n", "guest", "assemble *.s files and check cross-PE races, cached-read "+
+			"staleness, unflushed and late-flushed cached writes (internal/lint)")
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fatal(err)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-
-	findings := 0
-	var loader *analysis.Loader
+	var dirs, asmFiles []string
+	seen := map[string]bool{}
 	for _, arg := range args {
 		switch {
 		case strings.HasSuffix(arg, ".s"):
-			findings += guestLint(arg, *pes)
+			asmFiles = append(asmFiles, arg)
 		case arg == "./...":
-			if loader == nil {
-				loader = newLoader()
-			}
-			dirs, err := analysis.PackageDirs(".")
+			expanded, err := analysis.PackageDirs(".")
 			if err != nil {
 				fatal(err)
 			}
-			for _, dir := range dirs {
-				findings += hostLint(loader, dir)
+			for _, d := range expanded {
+				if !seen[d] {
+					seen[d] = true
+					dirs = append(dirs, d)
+				}
 			}
 		default:
-			if loader == nil {
-				loader = newLoader()
+			if !seen[arg] {
+				seen[arg] = true
+				dirs = append(dirs, arg)
 			}
-			findings += hostLint(loader, arg)
 		}
 	}
-	if findings > 0 {
+	sort.Strings(dirs)
+
+	var all []findings.Finding
+	if len(dirs) > 0 {
+		all = append(all, hostLint(analyzers, dirs)...)
+	}
+	for _, path := range asmFiles {
+		all = append(all, guestLint(path, *pes, *copies)...)
+	}
+	findings.AssignIDs(all)
+
+	if *writeBL {
+		if *baseline == "" {
+			fatal(fmt.Errorf("-write-baseline needs a -baseline path"))
+		}
+		if err := findings.SaveBaseline(*baseline, all); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ultravet: wrote %d finding(s) to %s\n", len(all), *baseline)
+		return
+	}
+
+	base := findings.Baseline{}
+	if *baseline != "" {
+		base, err = findings.LoadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fresh := findings.Diff(all, base)
+
+	if *jsonOut {
+		if err := findings.WriteJSON(os.Stdout, all); err != nil {
+			fatal(err)
+		}
+	} else {
+		findings.WriteText(os.Stdout, fresh)
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "ultravet: %d new finding(s) (%d total, %d baselined)\n",
+			len(fresh), len(all), len(all)-len(fresh))
 		os.Exit(1)
 	}
 }
 
-func newLoader() *analysis.Loader {
+// selectAnalyzers resolves the -enable/-disable flags against the
+// registry.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range registry {
+		byName[a.Name] = a
+	}
+	names := func(csv string) (map[string]bool, error) {
+		set := map[string]bool{}
+		if csv == "" {
+			return set, nil
+		}
+		for _, n := range strings.Split(csv, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if byName[n] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (try -list)", n)
+			}
+			set[n] = true
+		}
+		return set, nil
+	}
+	on, err := names(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := names(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range registry {
+		if len(on) > 0 && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// hostLint loads every package dir, runs the per-package analyzers on
+// each and the whole-program analyzers once over all of them together.
+func hostLint(analyzers []*analysis.Analyzer, dirs []string) []findings.Finding {
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		fatal(err)
 	}
-	return loader
-}
-
-// hostLint runs every host analyzer over the package in dir, printing
-// its diagnostics; returns the finding count.
-func hostLint(loader *analysis.Loader, dir string) int {
-	pkg, err := loader.LoadDir(dir)
-	if err != nil {
-		fatal(fmt.Errorf("%s: %w", dir, err))
-	}
-	n := 0
-	for _, a := range analyzers {
-		diags, err := analysis.Run(a, pkg)
+	var pkgs []*analysis.Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %s: %w", dir, a.Name, err))
+			fatal(fmt.Errorf("%s: %w", dir, err))
 		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	var out []findings.Finding
+	collect := func(a *analysis.Analyzer, pkg *analysis.Package, diags []analysis.Diagnostic) {
 		for _, d := range diags {
-			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
-			n++
+			pos := pkg.Fset.Position(d.Pos)
+			out = append(out, findings.Finding{
+				Analyzer: a.Name,
+				File:     relPath(pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+				Chain:    d.Chain,
+			})
 		}
 	}
-	return n
+
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			continue
+		}
+		for _, pkg := range pkgs {
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", a.Name, err))
+			}
+			collect(a, pkg, diags)
+		}
+	}
+
+	var prog *analysis.Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = analysis.BuildProgram(pkgs)
+		}
+		diags, err := analysis.RunProgram(a, prog)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", a.Name, err))
+		}
+		if len(pkgs) > 0 {
+			collect(a, pkgs[0], diags) // one shared fset: any package resolves positions
+		}
+	}
+	return out
 }
 
 // guestLint assembles path and runs the coherence/race lint for an SPMD
-// run on pes PEs; returns the finding count.
-func guestLint(path string, pes int) int {
+// run on pes PEs over a copies-wide network.
+func guestLint(path string, pes, copies int) []findings.Finding {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -126,11 +293,30 @@ func guestLint(path string, pes int) int {
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", path, err))
 	}
-	fs := lint.Program(prog, pes)
+	fs := lint.ProgramOpts(prog, lint.Options{PEs: pes, Copies: copies})
+	out := make([]findings.Finding, 0, len(fs))
 	for _, f := range fs {
-		fmt.Printf("%s: guest: %s\n", path, f)
+		out = append(out, findings.Finding{
+			Analyzer: "guest",
+			File:     relPath(path),
+			Message:  f.String(),
+		})
 	}
-	return len(fs)
+	return out
+}
+
+// relPath makes name working-directory-relative when possible, keeping
+// findings and baselines machine-independent.
+func relPath(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	rel, err := filepath.Rel(wd, name)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return name
+	}
+	return filepath.ToSlash(rel)
 }
 
 func fatal(err error) {

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ultracomputer/internal/lint/analysis"
+	"ultracomputer/internal/lint/findings"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestJSONGolden pins the `ultravet -json` byte stream: the guest lint
+// runs over the racy fixture, IDs are assigned, and the serialized
+// array must match the committed golden file exactly — same findings,
+// same canonical order, same stable IDs — run after run.
+func TestJSONGolden(t *testing.T) {
+	gather := func() []findings.Finding {
+		fs := guestLint(filepath.Join("testdata", "racy.s"), 4, 1)
+		findings.AssignIDs(fs)
+		return fs
+	}
+
+	fs := gather()
+	if len(fs) == 0 {
+		t.Fatal("racy fixture produced no findings; the golden test is vacuous")
+	}
+	var buf bytes.Buffer
+	if err := findings.WriteJSON(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second independent run must serialize to the same bytes.
+	var again bytes.Buffer
+	if err := findings.WriteJSON(&again, gather()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatalf("two runs, different JSON:\n%s\nvs\n%s", buf.Bytes(), again.Bytes())
+	}
+
+	golden := filepath.Join("testdata", "racy.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from %s (run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestSelectAnalyzers checks the -enable/-disable registry resolution.
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(registry) {
+		t.Fatalf("default selection has %d analyzers, want %d", len(all), len(registry))
+	}
+
+	some, err := selectAnalyzers("sharecheck,hotalloc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 2 || some[0].Name != "sharecheck" || some[1].Name != "hotalloc" {
+		t.Fatalf("-enable sharecheck,hotalloc selected %v", names(some))
+	}
+
+	most, err := selectAnalyzers("", "stagecheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(most) != len(registry)-1 {
+		t.Fatalf("-disable stagecheck selected %v", names(most))
+	}
+	for _, a := range most {
+		if a.Name == "stagecheck" {
+			t.Fatal("disabled analyzer still selected")
+		}
+	}
+
+	if _, err := selectAnalyzers("nosuch", ""); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+}
+
+func names(as []*analysis.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+; racy.s — golden-test fixture: every PE plain-stores its PE number
+; into the same shared word and reads it back, with no ordering, so the
+; guest lint flags the store/store and store/load races. The companion
+; racy.golden.json is the expected `ultravet -json` stream for this
+; file; regenerate it with `go test ./cmd/ultravet -run Golden -update`.
+
+        rdpe r1
+        li   r2, 500
+        sts  r1, 0(r2)      ; all PEs store M[500] — races with every other PE
+        lds  r3, 0(r2)      ; and read it back — may see any PE's value
+        halt

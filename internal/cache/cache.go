@@ -78,6 +78,15 @@ type Cache struct {
 
 	probe   obs.Probe
 	probePE int
+
+	// Write-back scratch reused across calls so the cached-ISA cycle
+	// path stays allocation-free in steady state. A slice returned by
+	// Fill is valid until the next Fill; one returned by Flush until the
+	// next Flush. The two are distinct because the ISA layer holds
+	// Fill's result across cycles while draining it and may Flush into
+	// the same queue meanwhile.
+	fillWB  []WriteBack
+	flushWB []WriteBack
 }
 
 // SetProbe attaches an event probe emitting hit/miss/write-back events
@@ -148,6 +157,7 @@ func (c *Cache) Read(a int64) (v int64, hit bool) {
 	set, tag, off := c.locate(a)
 	c.clock++
 	if l := c.find(set, tag); l != nil {
+		//ultravet:ok sharecheck l points into the receiver-owned c.sets; the cache is private to one PE
 		l.lru = c.clock
 		c.stats.Hits.Inc()
 		if c.probe != nil {
@@ -197,7 +207,8 @@ func (c *Cache) BlockWords() int { return c.cfg.BlockWords }
 // Fill installs the block starting at blockAddr (length BlockWords,
 // fetched from central memory) and returns the dirty words of the line it
 // evicted, which the caller must write to central memory. Cache-generated
-// write-back traffic can always be pipelined (§3.4).
+// write-back traffic can always be pipelined (§3.4). The returned slice
+// aliases receiver-owned scratch and is valid until the next Fill.
 func (c *Cache) Fill(blockAddr int64, words []int64) []WriteBack {
 	if int(blockAddr)%c.cfg.BlockWords != 0 {
 		panic(fmt.Sprintf("cache: Fill at unaligned address %d", blockAddr))
@@ -233,12 +244,14 @@ func (c *Cache) Fill(blockAddr int64, words []int64) []WriteBack {
 	return wbs
 }
 
-// evict collects the dirty words of l and invalidates it.
+// evict collects the dirty words of l into the fill scratch and
+// invalidates it.
 func (c *Cache) evict(l *line, set int) []WriteBack {
-	var wbs []WriteBack
+	wbs := c.fillWB[:0]
 	base := (l.tag*int64(c.cfg.Sets) + int64(set)) * int64(c.cfg.BlockWords)
 	for i, d := range l.dirty {
 		if d {
+			//ultravet:ok hotalloc scratch reaches steady-state capacity (≤ BlockWords entries)
 			wbs = append(wbs, WriteBack{Addr: base + int64(i), Value: l.words[i]})
 			c.stats.WriteBacks.Inc()
 			if c.probe != nil {
@@ -248,6 +261,7 @@ func (c *Cache) evict(l *line, set int) []WriteBack {
 	}
 	l.valid = false
 	c.stats.Evictions.Inc()
+	c.fillWB = wbs[:0]
 	return wbs
 }
 
@@ -255,47 +269,6 @@ func (c *Cache) evict(l *line, set int) []WriteBack {
 // central-memory update (§3.4): the data is discarded even if dirty. Used
 // for dead private variables and to end a read-only sharing period.
 func (c *Cache) Release(lo, hi int64) {
-	c.forRange(lo, hi, func(l *line, set int) {
-		l.valid = false
-		c.stats.Releases.Inc()
-	})
-}
-
-// Flush forces a write-back of every dirty cached word in [lo, hi),
-// returning the words to write to central memory. Lines remain valid and
-// clean — used before spawning subtasks that will read the data and
-// before task switches (§3.4).
-func (c *Cache) Flush(lo, hi int64) []WriteBack {
-	var wbs []WriteBack
-	c.forRange(lo, hi, func(l *line, set int) {
-		base := (l.tag*int64(c.cfg.Sets) + int64(set)) * int64(c.cfg.BlockWords)
-		touched := false
-		for i, d := range l.dirty {
-			if d {
-				wbs = append(wbs, WriteBack{Addr: base + int64(i), Value: l.words[i]})
-				l.dirty[i] = false
-				c.stats.WriteBacks.Inc()
-				touched = true
-				if c.probe != nil {
-					c.emit(obs.KindCacheWriteBack, base+int64(i))
-				}
-			}
-		}
-		if touched {
-			c.stats.Flushes.Inc()
-		}
-	})
-	return wbs
-}
-
-// ReleaseAll releases the entire cache.
-func (c *Cache) ReleaseAll() { c.Release(0, 1<<62) }
-
-// FlushAll flushes the entire cache.
-func (c *Cache) FlushAll() []WriteBack { return c.Flush(0, 1<<62) }
-
-// forRange applies fn to every valid line whose block overlaps [lo, hi).
-func (c *Cache) forRange(lo, hi int64, fn func(l *line, set int)) {
 	bw := int64(c.cfg.BlockWords)
 	for set := range c.sets {
 		for w := range c.sets[set] {
@@ -305,11 +278,58 @@ func (c *Cache) forRange(lo, hi int64, fn func(l *line, set int)) {
 			}
 			base := (l.tag*int64(c.cfg.Sets) + int64(set)) * bw
 			if base+bw > lo && base < hi {
-				fn(l, set)
+				l.valid = false
+				c.stats.Releases.Inc()
 			}
 		}
 	}
 }
+
+// Flush forces a write-back of every dirty cached word in [lo, hi),
+// returning the words to write to central memory. Lines remain valid and
+// clean — used before spawning subtasks that will read the data and
+// before task switches (§3.4). The returned slice aliases receiver-owned
+// scratch and is valid until the next Flush.
+func (c *Cache) Flush(lo, hi int64) []WriteBack {
+	wbs := c.flushWB[:0]
+	bw := int64(c.cfg.BlockWords)
+	for set := range c.sets {
+		for w := range c.sets[set] {
+			l := &c.sets[set][w]
+			if !l.valid {
+				continue
+			}
+			base := (l.tag*int64(c.cfg.Sets) + int64(set)) * bw
+			if base+bw <= lo || base >= hi {
+				continue
+			}
+			touched := false
+			for i, d := range l.dirty {
+				if d {
+					//ultravet:ok hotalloc scratch reaches steady-state capacity after warmup
+					wbs = append(wbs, WriteBack{Addr: base + int64(i), Value: l.words[i]})
+					l.dirty[i] = false
+					c.stats.WriteBacks.Inc()
+					touched = true
+					if c.probe != nil {
+						c.emit(obs.KindCacheWriteBack, base+int64(i))
+					}
+				}
+			}
+			if touched {
+				c.stats.Flushes.Inc()
+			}
+		}
+	}
+	c.flushWB = wbs[:0]
+	return wbs
+}
+
+// ReleaseAll releases the entire cache.
+func (c *Cache) ReleaseAll() { c.Release(0, 1<<62) }
+
+// FlushAll flushes the entire cache.
+func (c *Cache) FlushAll() []WriteBack { return c.Flush(0, 1<<62) }
 
 // Contains reports whether address a currently hits, without touching LRU
 // state or statistics.

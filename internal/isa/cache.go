@@ -23,7 +23,8 @@ const fillTagBase = 2 * NumRegs
 type coreCache struct {
 	c *cache.Cache
 
-	// Block fill in progress.
+	// Block fill in progress. words is preallocated at construction
+	// (BlockWords long) and reused by every fill.
 	filling  bool
 	block    int64
 	words    []int64
@@ -43,7 +44,9 @@ type coreCache struct {
 // shape. Cores built with NewCore treat those instructions as illegal.
 func NewCoreWithCache(prog *Program, localWords int, cfg cache.Config) *Core {
 	c := NewCore(prog, localWords)
-	c.cc = &coreCache{c: cache.New(cfg)}
+	cc := &coreCache{c: cache.New(cfg)}
+	cc.words = make([]int64, cc.c.BlockWords())
+	c.cc = cc
 	return c
 }
 
@@ -109,11 +112,12 @@ func (c *Core) tickCache(env *pe.Env) (pe.TickResult, bool) {
 	return pe.TickResult{}, false
 }
 
-// startFill begins fetching the block containing addr.
+// startFill begins fetching the block containing addr. Every word of
+// cc.words is overwritten by completeFill before Fill reads it, so the
+// preallocated buffer needs no clearing.
 func (cc *coreCache) startFill(addr int64) {
 	cc.filling = true
 	cc.block = cc.c.Block(addr)
-	cc.words = make([]int64, cc.c.BlockWords())
 	cc.issued = 0
 	cc.received = 0
 }

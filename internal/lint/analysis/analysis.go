@@ -14,7 +14,10 @@ import (
 	"go/types"
 )
 
-// Analyzer describes one static check.
+// Analyzer describes one static check. Exactly one of Run and
+// RunProgram must be set: Run inspects one package at a time;
+// RunProgram sees the whole loaded program at once (call graph, write
+// sets, fact store) and is how the interprocedural analyzers are built.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and on the ultravet
 	// command line.
@@ -25,6 +28,8 @@ type Analyzer struct {
 	// pass.Report. The result value is unused by the driver (it exists
 	// for API parity with x/tools).
 	Run func(*Pass) (interface{}, error)
+	// RunProgram applies the analyzer once to a whole Program.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass is the view an Analyzer gets of one package.
@@ -43,14 +48,39 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Chain, when set, is the call path from an
+// analyzer's entry point to the function holding the flagged site
+// (interprocedural analyzers fill it in; per-package ones leave it
+// empty).
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	Chain   string
 }
 
-// Run applies a to pkg, collecting diagnostics in file order.
+// ProgramPass is the view a whole-program Analyzer gets.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	// Report delivers one diagnostic to the driver. Diagnostics whose
+	// position carries an //ultravet:ok suppression for this analyzer
+	// are filtered by the driver, not here.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos with a call chain.
+func (p *ProgramPass) Reportf(pos token.Pos, chain string, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Chain: chain})
+}
+
+// Run applies a to pkg, collecting diagnostics in file order. A
+// whole-program analyzer sees a single-package program (the analysistest
+// path); the ultravet driver instead builds one Program over every
+// package and calls RunProgram once.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	if a.RunProgram != nil {
+		return RunProgram(a, BuildProgram([]*Package{pkg}))
+	}
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -61,6 +91,26 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Report:    func(d Diagnostic) { diags = append(diags, d) },
 	}
 	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	return diags, nil
+}
+
+// RunProgram applies a whole-program analyzer to prog, dropping
+// diagnostics suppressed by //ultravet:ok comments for this analyzer.
+func RunProgram(a *Analyzer, prog *Program) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &ProgramPass{
+		Analyzer: a,
+		Prog:     prog,
+		Report: func(d Diagnostic) {
+			if prog.Suppressed(a.Name, d.Pos) {
+				return
+			}
+			diags = append(diags, d)
+		},
+	}
+	if err := a.RunProgram(pass); err != nil {
 		return nil, fmt.Errorf("%s: %v", a.Name, err)
 	}
 	return diags, nil

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// FactStore is the cross-package fact table: analyzers (and the
+// write-set builder) record JSON-encodable facts keyed by a stable
+// object key, so a later pass — or a future separate-compilation driver
+// that persists facts between package runs — can query what was proven
+// about an imported function without re-analyzing it. Keys are strings
+// of the form "pkgpath.Func" or "pkgpath.(Recv).Method", which survive
+// serialization (unlike *types.Func pointers).
+type FactStore struct {
+	m map[string]json.RawMessage
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: map[string]json.RawMessage{}} }
+
+// ObjKey renders the stable key for a function object.
+func ObjKey(obj *types.Func) string {
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("%s.(%s).%s", pkg, named.Obj().Name(), obj.Name())
+		}
+	}
+	return pkg + "." + obj.Name()
+}
+
+// Set records fact v (any JSON-encodable value) under key, replacing an
+// existing fact.
+func (fs *FactStore) Set(key string, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("facts: encoding %s: %v", key, err)
+	}
+	fs.m[key] = data
+	return nil
+}
+
+// Get decodes the fact stored under key into v, reporting whether one
+// existed.
+func (fs *FactStore) Get(key string, v interface{}) (bool, error) {
+	data, ok := fs.m[key]
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return true, fmt.Errorf("facts: decoding %s: %v", key, err)
+	}
+	return true, nil
+}
+
+// Keys lists every fact key in sorted order (the store is map-backed;
+// sorting here keeps all consumers deterministic).
+func (fs *FactStore) Keys() []string {
+	keys := make([]string, 0, len(fs.m))
+	for k := range fs.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Export serializes the whole store, keys sorted.
+func (fs *FactStore) Export() ([]byte, error) {
+	type entry struct {
+		Key  string          `json:"key"`
+		Fact json.RawMessage `json:"fact"`
+	}
+	entries := make([]entry, 0, len(fs.m))
+	for _, k := range fs.Keys() {
+		entries = append(entries, entry{Key: k, Fact: fs.m[k]})
+	}
+	return json.MarshalIndent(entries, "", "  ")
+}
+
+// Import loads a store serialized by Export, merging over existing
+// entries.
+func (fs *FactStore) Import(data []byte) error {
+	var entries []struct {
+		Key  string          `json:"key"`
+		Fact json.RawMessage `json:"fact"`
+	}
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("facts: %v", err)
+	}
+	for _, e := range entries {
+		fs.m[e.Key] = e.Fact
+	}
+	return nil
+}
+
+// WriteFact is the serializable form of one summary effect, published
+// to the fact store for every named function.
+type WriteFact struct {
+	Kind   string `json:"kind"`             // "write" or "send"
+	Region string `json:"region"`           // lattice level
+	Param  int    `json:"param,omitempty"`  // parameter index, region "parameter"
+	Var    string `json:"var,omitempty"`    // variable name, region "global"/"captured"
+	Map    bool   `json:"map,omitempty"`    // targets a map entry
+	Origin string `json:"origin,omitempty"` // file:line of the primitive site
+}
+
+// SummaryFact is the fact recorded per function: its transitive write
+// set expressed in its own frame.
+type SummaryFact struct {
+	Writes []WriteFact `json:"writes"`
+}
+
+// exportFacts publishes every named function's transitive summary.
+func (p *Program) exportFacts() {
+	for _, n := range p.Nodes {
+		if n.Obj == nil {
+			continue
+		}
+		var sf SummaryFact
+		for _, e := range SortedEffects(n.Summary) {
+			w := WriteFact{Region: e.Reg.Kind.String(), Map: e.IsMap}
+			if e.Kind == EffSend {
+				w.Kind = "send"
+			} else {
+				w.Kind = "write"
+			}
+			switch e.Reg.Kind {
+			case RegParam:
+				w.Param = e.Reg.Index
+			case RegGlobal, RegCapture:
+				if e.Reg.Obj != nil {
+					w.Var = e.Reg.Obj.Name()
+				}
+			}
+			if e.Pos.IsValid() {
+				pos := p.Fset.Position(e.Pos)
+				w.Origin = fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			}
+			sf.Writes = append(sf.Writes, w)
+		}
+		// Best effort: a marshal failure here would be a bug in the
+		// fact types themselves.
+		_ = p.Facts.Set(ObjKey(n.Obj), sf)
+	}
+}

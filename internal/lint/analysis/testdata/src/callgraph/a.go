@@ -1,0 +1,34 @@
+// Package callgraph is the fixture for the call-graph construction
+// tests: interface dispatch resolved by class-hierarchy analysis,
+// containment edges to function literals, and reachability through
+// both.
+package callgraph
+
+// Runner has two concrete implementations; a call through the
+// interface must produce a dynamic edge to each.
+type Runner interface{ Go() }
+
+type A struct{ n int }
+
+func (a *A) Go() { a.n++ }
+
+type B struct{ n int }
+
+func (b *B) Go() { b.n++ }
+
+// NotARunner has a Go method with the wrong signature and must not
+// receive a dynamic edge.
+type NotARunner struct{}
+
+func (NotARunner) Go(x int) {}
+
+func dispatch(r Runner) { r.Go() }
+
+func run() {
+	var r Runner = &A{}
+	dispatch(r)
+	f := func() { helper() }
+	f()
+}
+
+func helper() {}

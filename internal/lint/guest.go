@@ -98,9 +98,23 @@ type peSummary struct {
 	syncCells map[int64]bool
 }
 
-// Programs lints one assembled program per PE (SPMD callers pass the
-// same *isa.Program for every PE) and returns the findings, sorted.
-func Programs(progs []*isa.Program) []Finding {
+// Options configures the machine the lint assumes the program runs on.
+type Options struct {
+	// PEs is the number of processing elements executing the program
+	// (SPMD).
+	PEs int
+	// Copies is the number of identical network copies
+	// (network.Config.Copies). A PE's successive requests are injected
+	// round-robin across copies, so with Copies > 1 two requests from
+	// the same PE can traverse disjoint switch sets and complete out of
+	// order; the late-flush rule only applies then.
+	Copies int
+}
+
+// ProgramsOpts lints one assembled program per PE (SPMD callers pass the
+// same *isa.Program for every PE) under opts and returns the findings,
+// sorted.
+func ProgramsOpts(progs []*isa.Program, opts Options) []Finding {
 	npes := len(progs)
 	sums := make([]*peSummary, npes)
 	for pe, prog := range progs {
@@ -111,6 +125,9 @@ func Programs(progs []*isa.Program) []Finding {
 	findings = append(findings, checkRaces(sums)...)
 	findings = append(findings, checkStaleReads(sums)...)
 	findings = append(findings, checkUnflushedWrites(sums)...)
+	if opts.Copies > 1 {
+		findings = append(findings, checkLateFlush(sums, opts.Copies)...)
+	}
 
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -128,13 +145,27 @@ func Programs(progs []*isa.Program) []Finding {
 	return findings
 }
 
-// Program lints a single program run SPMD on npes PEs.
-func Program(prog *isa.Program, npes int) []Finding {
-	progs := make([]*isa.Program, npes)
+// Programs lints progs on a single-copy network.
+func Programs(progs []*isa.Program) []Finding {
+	return ProgramsOpts(progs, Options{PEs: len(progs), Copies: 1})
+}
+
+// ProgramOpts lints a single program run SPMD under opts.
+func ProgramOpts(prog *isa.Program, opts Options) []Finding {
+	if opts.PEs <= 0 {
+		opts.PEs = 1
+	}
+	progs := make([]*isa.Program, opts.PEs)
 	for i := range progs {
 		progs[i] = prog
 	}
-	return Programs(progs)
+	return ProgramsOpts(progs, opts)
+}
+
+// Program lints a single program run SPMD on npes PEs (single-copy
+// network).
+func Program(prog *isa.Program, npes int) []Finding {
+	return ProgramOpts(prog, Options{PEs: npes, Copies: 1})
 }
 
 // summarize runs the abstract interpreter for one PE and classifies its
@@ -424,6 +455,83 @@ func checkUnflushedWrites(sums []*peSummary) []Finding {
 							"(`%s`)", a.addr,
 						s.it.prog.InstrString(a.pc)),
 				})
+			}
+		}
+	}
+	return findings
+}
+
+// checkLateFlush flags the cached-line-released-across-a-barrier bug,
+// which only the multi-copy network (Copies > 1) turns into a definite
+// hazard: a PE dirties a shared word in its write-back cache (csts),
+// releases a sync cell other PEs wait on, and only then issues the cflu
+// that writes the line back. On a single-copy network a PE's requests
+// stay FIFO through the switches, so the write-back — issued right
+// after the release — normally reaches memory ahead of any consumer
+// woken by it; with Copies > 1 the release and the write-back are
+// injected into different copies and the release can overtake it, so a
+// consumer legally acquires the barrier and still reads the stale
+// value from central memory. The fix is always to flush before
+// releasing. (A store with no covering cflu at all is the
+// unflushed-write rule's business, not this one's.)
+func checkLateFlush(sums []*peSummary, copies int) []Finding {
+	syncCells := map[int64]bool{}
+	for _, s := range sums {
+		for a := range s.syncCells {
+			syncCells[a] = true
+		}
+	}
+
+	var findings []Finding
+	for pe, s := range sums {
+		readElsewhere := foreignReads(sums, pe)
+		reported := map[int]bool{}
+		for _, a := range s.accesses {
+			if a.class != cachedStore || !readElsewhere[a.addr] || reported[a.pc] {
+				continue
+			}
+			after := reachableFrom(s.it, a.pc)
+			var flushes []fence
+			for _, f := range s.fences {
+				if f.flush && f.covers(a.addr) && (after[f.pc] || f.pc == a.pc) {
+					flushes = append(flushes, f)
+				}
+			}
+			if len(flushes) == 0 {
+				continue // unflushed-write fires instead
+			}
+			// A release is a write (of any class, including rmw) to a
+			// sync cell on a path after the dirty store.
+			for _, rel := range s.accesses {
+				if !syncCells[rel.addr] || !after[rel.pc] {
+					continue
+				}
+				switch rel.class {
+				case plainStore, cachedStore, rmw:
+				default:
+					continue
+				}
+				ordered := false
+				for _, f := range flushes {
+					if reachableFrom(s.it, f.pc)[rel.pc] {
+						ordered = true
+						break
+					}
+				}
+				if !ordered {
+					reported[a.pc] = true
+					findings = append(findings, Finding{
+						PE: pe, PC: a.pc, Rule: "late-flush", Addr: a.addr,
+						Message: fmt.Sprintf(
+							"cached store to shared M[%d] is written back only after the "+
+								"release of sync cell M[%d] at pc %d: with %d network copies "+
+								"the release can overtake the write-back, so a consumer "+
+								"acquires the barrier and still reads the stale value; flush "+
+								"before releasing (`%s`)", a.addr, rel.addr, rel.pc, copies,
+							s.it.prog.InstrString(a.pc)),
+					})
+					break
+				}
 			}
 		}
 	}

@@ -38,6 +38,52 @@ func TestExamplesLintClean(t *testing.T) {
 	}
 }
 
+// The examples must also lint clean on a multi-copy network, where the
+// late-flush rule is live (tickets.s and rw.s coordinate purely through
+// fetch-and-add cells and never dirty a write-back line).
+func TestExamplesLintCleanMultiCopy(t *testing.T) {
+	for _, name := range []string{"queue.s", "barrier.s", "rw.s", "dotproduct.s", "tickets.s"} {
+		prog := assemble(t, filepath.Join("..", "..", "examples", "asm", name))
+		for _, copies := range []int{2, 3} {
+			opts := lint.Options{PEs: 4, Copies: copies}
+			if fs := lint.ProgramOpts(prog, opts); len(fs) != 0 {
+				for _, f := range fs {
+					t.Errorf("%s copies=%d: unexpected finding: %s", name, copies, f)
+				}
+			}
+		}
+	}
+}
+
+// lateflush.s releases its ready flag before flushing the dirty data
+// line: the late-flush rule must fire on a multi-copy network and stay
+// quiet on a single-copy one (per-PE FIFO keeps the write-back ahead of
+// the consumers), and the present-but-late cflu must keep the
+// unflushed-write rule quiet everywhere.
+func TestLateFlushFixture(t *testing.T) {
+	prog := assemble(t, filepath.Join("testdata", "lateflush.s"))
+
+	fs := lint.ProgramOpts(prog, lint.Options{PEs: 4, Copies: 2})
+	var late bool
+	for _, f := range fs {
+		if f.Rule != "late-flush" {
+			t.Errorf("lateflush.s copies=2: unexpected rule %q: %s", f.Rule, f)
+			continue
+		}
+		late = true
+		if f.PE != 0 || f.Addr != 100 {
+			t.Errorf("lateflush.s: want the finding on PE 0's store to M[100]: %s", f)
+		}
+	}
+	if !late {
+		t.Errorf("lateflush.s copies=2: expected a late-flush finding, got %v", fs)
+	}
+
+	if fs := lint.ProgramOpts(prog, lint.Options{PEs: 4, Copies: 1}); len(fs) != 0 {
+		t.Errorf("lateflush.s copies=1: want clean (FIFO network), got %v", fs)
+	}
+}
+
 // racy.s stores and loads one shared word from every PE with no
 // coordination: the race rule must fire on both the load and the
 // competing stores, and the cache rules must stay quiet (no cached ops).

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"ultracomputer/internal/lint/analysis/analysistest"
+	"ultracomputer/internal/lint/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer, "hotalloc")
+}

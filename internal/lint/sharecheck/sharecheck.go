@@ -1,0 +1,125 @@
+// Package sharecheck defines the interprocedural shard-isolation
+// analyzer. The parallel execution engine (internal/engine) runs each
+// Compute phase as shards over disjoint units with barriers in between;
+// byte-identical replay (DESIGN.md, the paper's serialization principle
+// §2) holds only if Compute-phase code writes nothing two shards could
+// both reach. stagecheck polices the syntactic, method-local version of
+// that contract; sharecheck walks the whole-program call graph and
+// write-set summaries (internal/lint/analysis) so a shared write two or
+// ten calls deep is flagged with its full call chain.
+//
+// Roots are the Compute-phase entry points: methods named Compute (the
+// sim.Ticker discipline) and the function literals handed to
+// engine.Engine.Run or network.Stepper.phase (the shard bodies). For
+// every function transitively reachable from a root, the transitive
+// write set — expressed in the root's own frame — must stay inside
+// state the shard owns:
+//
+//	allowed  writes to the root's receiver; writes reaching captured
+//	         slices/structs (the per-unit and per-worker scratch
+//	         convention: elements are indexed by the unit or worker id
+//	         the shard owns); writes to function-local memory
+//	flagged  writes to package-level variables; writes into shared
+//	         maps (map entries cannot be index-partitioned); rebinding
+//	         a captured variable itself; writes through non-receiver
+//	         pointer parameters; writes of unknown provenance; channel
+//	         sends on anything but receiver-owned channels
+//
+// A site that is intentionally safe (e.g. synchronized by a mechanism
+// the lattice cannot see) is silenced with
+// `//ultravet:ok sharecheck <reason>` on or above the line.
+package sharecheck
+
+import (
+	"fmt"
+	"go/token"
+
+	"ultracomputer/internal/lint/analysis"
+)
+
+// Analyzer is the sharecheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharecheck",
+	Doc: "verify that everything reachable from a Compute-phase entry point " +
+		"writes only shard-owned state (interprocedural write sets)",
+	RunProgram: run,
+}
+
+// computeNames are the conventional Compute-phase method names.
+var computeNames = map[string]bool{"Compute": true, "compute": true}
+
+func run(pass *analysis.ProgramPass) error {
+	prog := pass.Prog
+	var roots []*analysis.Node
+	for _, n := range prog.RootsByName(computeNames) {
+		if n.Decl != nil && n.Decl.Recv != nil {
+			roots = append(roots, n)
+		}
+	}
+	roots = append(roots, prog.EnginePhaseLiterals()...)
+
+	type dedup struct {
+		pos token.Pos
+		msg string
+	}
+	seen := map[dedup]bool{}
+	for _, root := range roots {
+		for _, eff := range analysis.SortedEffects(root.Summary) {
+			msg, bad := verdict(eff)
+			if !bad {
+				continue
+			}
+			key := dedup{pos: eff.Pos, msg: msg}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			chain := prog.PathTo([]*analysis.Node{root}, eff.Node, nil)
+			pass.Reportf(eff.Pos, chain,
+				"%s on a Compute path (%s): Compute shards run concurrently and may "+
+					"only write shard-owned state; fix the write or annotate "+
+					"//ultravet:ok sharecheck <reason>", msg, chain)
+		}
+	}
+	return nil
+}
+
+// verdict classifies one summary effect of a Compute root.
+func verdict(e analysis.Effect) (string, bool) {
+	if e.Kind == analysis.EffSend {
+		switch e.Reg.Kind {
+		case analysis.RegRecv:
+			return "", false // receiver-owned staging channel
+		default:
+			return fmt.Sprintf("send on shared channel %s", e.What), true
+		}
+	}
+	switch e.Reg.Kind {
+	case analysis.RegGlobal:
+		name := "?"
+		if e.Reg.Obj != nil {
+			name = e.Reg.Obj.Name()
+		}
+		if e.IsMap {
+			return fmt.Sprintf("write into shared map %s", name), true
+		}
+		return fmt.Sprintf("write to package-level variable %s", name), true
+	case analysis.RegParam:
+		return fmt.Sprintf("write through non-receiver parameter (%s)", e.What), true
+	case analysis.RegShared:
+		return fmt.Sprintf("write to state of unknown provenance (%s)", e.What), true
+	case analysis.RegCapture:
+		if e.IsMap {
+			return fmt.Sprintf("write into shared map %s", e.What), true
+		}
+		if e.Direct {
+			name := e.What
+			if e.Reg.Obj != nil {
+				name = e.Reg.Obj.Name()
+			}
+			return fmt.Sprintf("rebind of captured variable %s", name), true
+		}
+		return "", false // per-unit/per-worker scratch convention
+	}
+	return "", false
+}

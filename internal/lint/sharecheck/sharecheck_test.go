@@ -1,0 +1,12 @@
+package sharecheck_test
+
+import (
+	"testing"
+
+	"ultracomputer/internal/lint/analysis/analysistest"
+	"ultracomputer/internal/lint/sharecheck"
+)
+
+func TestSharecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sharecheck.Analyzer, "sharecheck", "phase")
+}

@@ -1,0 +1,56 @@
+package sharecheck
+
+var global int
+var table = map[string]int{}
+
+type unit struct {
+	val   int
+	stage []int
+	out   chan int
+}
+
+// Receiver-confined Compute: everything here is fine, including a send
+// on the receiver's own staging channel.
+func (u *unit) Compute(cycle int64) {
+	u.val++
+	u.stage = append(u.stage, u.val)
+	u.out <- u.val
+	u.confined()
+}
+
+func (u *unit) confined() { u.val *= 2 }
+
+type leaky struct{ n int }
+
+// The global write is two calls deep; sharecheck follows the chain.
+func (l *leaky) Compute(cycle int64) {
+	l.n++
+	l.addG()
+}
+
+func (l *leaky) addG() { bump() }
+
+func bump() { global++ } // want `write to package-level variable global`
+
+type mapper struct{ n int }
+
+func (m *mapper) Compute(cycle int64) {
+	table["k"] = m.n // want `write into shared map table`
+}
+
+type param struct{ n int }
+
+func (p *param) Compute(out *int) {
+	*out = p.n // want `write through non-receiver parameter`
+}
+
+type quiet struct{ n int }
+
+func (q *quiet) Compute(cycle int64) {
+	//ultravet:ok sharecheck counter is owned by the test harness, not a shard
+	global = q.n
+}
+
+// notAPhase is not named Compute and is not reachable from one: its
+// global write is none of sharecheck's business.
+func notAPhase() { global = 7 }

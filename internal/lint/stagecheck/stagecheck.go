@@ -14,16 +14,22 @@
 //     the engine's job; a `go` statement reachable from
 //     Tick/Step/Compute/Commit introduces timing the barriers cannot
 //     order. Only internal/engine itself may start goroutines, plus
-//     sites annotated `//stagecheck:ok` — the escape hatch for the one
-//     legitimate pattern, a guest-program goroutine that advances in
-//     lockstep with its own Tick via a channel handshake and therefore
-//     never runs concurrently with phase code.
+//     sites annotated `//ultravet:ok stagecheck <reason>` (the legacy
+//     `//stagecheck:ok` spelling still works) — the escape hatch for
+//     the one legitimate pattern, a guest-program goroutine that
+//     advances in lockstep with its own Tick via a channel handshake
+//     and therefore never runs concurrently with phase code.
+//
+// stagecheck is the method-local complement to sharecheck: it rides the
+// shared call graph (internal/lint/analysis) for goroutine-launch
+// reachability, but holds Compute methods to the receiver-confinement
+// rule by their direct write effects only, so a violation is reported
+// in the method that commits it.
 package stagecheck
 
 import (
+	"fmt"
 	"go/ast"
-	"go/token"
-	"go/types"
 	"strings"
 
 	"ultracomputer/internal/lint/analysis"
@@ -34,7 +40,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "stagecheck",
 	Doc: "forbid Compute methods writing non-receiver shared state and goroutine " +
 		"launches on Tick/Step/Compute/Commit paths outside internal/engine",
-	Run: run,
+	RunProgram: run,
 }
 
 // rootNames are the phase entry points; goroutine-launch reachability
@@ -49,210 +55,96 @@ var rootNames = map[string]bool{
 // computeNames are the methods held to the receiver-confinement rule.
 var computeNames = map[string]bool{"Compute": true, "compute": true}
 
-func run(pass *analysis.Pass) (interface{}, error) {
-	if strings.HasSuffix(pass.Pkg.Path(), "internal/engine") {
-		return nil, nil // the engine is the one place allowed to manage goroutines
-	}
+func run(pass *analysis.ProgramPass) error {
+	prog := pass.Prog
+	reach := prog.Reachable(prog.RootsByName(rootNames), nil)
 
-	// Map every package-level function object to its declaration.
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[obj] = fd
-			}
+	for _, n := range prog.Nodes {
+		// The engine is the one place allowed to manage goroutines.
+		if strings.HasSuffix(n.Pkg.Types.Path(), "internal/engine") {
+			continue
+		}
+		if reach[n] {
+			checkGoStmts(pass, n)
+		}
+		if n.Decl != nil && n.Decl.Recv != nil && n.Obj != nil && computeNames[n.Obj.Name()] {
+			checkComputeWrites(pass, n)
 		}
 	}
-
-	// Lines carrying a `//stagecheck:ok` suppression.
-	okLines := suppressedLines(pass)
-
-	// Intra-package call graph: obj -> callee objs.
-	callees := func(fd *ast.FuncDecl) []*types.Func {
-		var out []*types.Func
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			var id *ast.Ident
-			switch fun := call.Fun.(type) {
-			case *ast.Ident:
-				id = fun
-			case *ast.SelectorExpr:
-				id = fun.Sel
-			default:
-				return true
-			}
-			if obj, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
-				if _, local := decls[obj]; local {
-					out = append(out, obj)
-				}
-			}
-			return true
-		})
-		return out
-	}
-
-	// Reachability from the root names.
-	reachable := map[*types.Func]bool{}
-	var work []*types.Func
-	for obj := range decls {
-		if rootNames[obj.Name()] {
-			reachable[obj] = true
-			work = append(work, obj)
-		}
-	}
-	for len(work) > 0 {
-		obj := work[len(work)-1]
-		work = work[:len(work)-1]
-		for _, callee := range callees(decls[obj]) {
-			if !reachable[callee] {
-				reachable[callee] = true
-				work = append(work, callee)
-			}
-		}
-	}
-
-	for obj, fd := range decls {
-		if reachable[obj] {
-			checkGoStmts(pass, fd, okLines)
-		}
-		if computeNames[obj.Name()] && fd.Recv != nil {
-			checkComputeWrites(pass, fd)
-		}
-	}
-	return nil, nil
-}
-
-// suppressedLines collects the lines annotated `//stagecheck:ok`; a
-// diagnostic on such a line (or whose statement starts on it) is
-// intentional and suppressed.
-func suppressedLines(pass *analysis.Pass) map[int]bool {
-	lines := map[int]bool{}
-	for _, f := range pass.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if strings.Contains(c.Text, "stagecheck:ok") {
-					lines[pass.Fset.Position(c.Pos()).Line] = true
-				}
-			}
-		}
-	}
-	return lines
+	return nil
 }
 
 // checkGoStmts reports goroutine launches inside one phase-path
-// function.
-func checkGoStmts(pass *analysis.Pass, fd *ast.FuncDecl, okLines map[int]bool) {
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		gs, ok := n.(*ast.GoStmt)
+// function's own frame (each nested literal is its own node and is
+// reached through a containment edge).
+func checkGoStmts(pass *analysis.ProgramPass, n *analysis.Node) {
+	n.InspectOwn(func(x ast.Node) bool {
+		gs, ok := x.(*ast.GoStmt)
 		if !ok {
 			return true
 		}
-		line := pass.Fset.Position(gs.Pos()).Line
-		if okLines[line] || okLines[line-1] {
-			return true
-		}
-		pass.Reportf(gs.Pos(),
+		pass.Reportf(gs.Pos(), "",
 			"goroutine launched on a phase path (reachable from %s): worker scheduling "+
-				"belongs to internal/engine; annotate //stagecheck:ok only for "+
-				"tick-synchronized guest goroutines", fd.Name.Name)
+				"belongs to internal/engine; annotate //ultravet:ok stagecheck only for "+
+				"tick-synchronized guest goroutines", enclosingName(n))
 		return true
 	})
+}
+
+// enclosingName is the bare name of the nearest named function, so a
+// diagnostic inside a closure names the method that built it.
+func enclosingName(n *analysis.Node) string {
+	for n.Parent != nil && n.Decl == nil {
+		n = n.Parent
+	}
+	if n.Decl != nil {
+		return n.Decl.Name.Name
+	}
+	return n.Name()
 }
 
 // checkComputeWrites reports writes escaping the receiver inside a
-// Compute method: assignments to package-level variables or through
-// non-receiver pointer parameters.
-func checkComputeWrites(pass *analysis.Pass, fd *ast.FuncDecl) {
-	recv := receiverObj(pass, fd)
-	params := paramObjs(pass, fd)
-	report := func(pos token.Pos, what string, obj *types.Var) {
-		pass.Reportf(pos,
-			"Compute writes %s %s: phase code must confine writes to its receiver "+
-				"(shards run concurrently under the parallel engine)", what, obj.Name())
-	}
-	check := func(lhs ast.Expr) {
-		base, through := rootIdent(lhs)
-		if base == nil {
-			return
+// Compute method, read straight off the node's direct write effects:
+// assignments to package-level variables or through non-receiver
+// pointer parameters. (Rebinding a parameter name is fine; so is
+// everything reaching only receiver or local state.)
+func checkComputeWrites(pass *analysis.ProgramPass, n *analysis.Node) {
+	for _, e := range n.Effects {
+		if e.Kind != analysis.EffWrite {
+			continue
 		}
-		obj, ok := pass.TypesInfo.Uses[base].(*types.Var)
-		if !ok || obj == recv {
-			return
-		}
-		if obj.Parent() == pass.Pkg.Scope() {
-			report(lhs.Pos(), "package-level variable", obj)
-			return
-		}
-		if params[obj] && through {
-			report(lhs.Pos(), "through non-receiver parameter", obj)
+		switch e.Reg.Kind {
+		case analysis.RegGlobal:
+			name := e.What
+			if e.Reg.Obj != nil {
+				name = e.Reg.Obj.Name()
+			}
+			pass.Reportf(e.Pos, "",
+				"Compute writes package-level variable %s: phase code must confine writes "+
+					"to its receiver (shards run concurrently under the parallel engine)", name)
+		case analysis.RegParam:
+			pass.Reportf(e.Pos, "",
+				"Compute writes through non-receiver parameter %s: phase code must confine "+
+					"writes to its receiver (shards run concurrently under the parallel engine)",
+				paramName(n, e.Reg.Index))
 		}
 	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			if n.Tok == token.DEFINE {
-				return true
-			}
-			for _, lhs := range n.Lhs {
-				check(lhs)
-			}
-		case *ast.IncDecStmt:
-			check(n.X)
-		}
-		return true
-	})
 }
 
-// receiverObj resolves the receiver variable of a method declaration.
-func receiverObj(pass *analysis.Pass, fd *ast.FuncDecl) *types.Var {
-	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
-		return nil
+// paramName resolves the declared name of parameter index i.
+func paramName(n *analysis.Node, i int) string {
+	ft := n.FuncType()
+	if ft.Params == nil {
+		return fmt.Sprintf("#%d", i)
 	}
-	obj, _ := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
-	return obj
-}
-
-// paramObjs resolves the declared parameters of fd.
-func paramObjs(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
-	out := map[*types.Var]bool{}
-	if fd.Type.Params == nil {
-		return out
-	}
-	for _, field := range fd.Type.Params.List {
+	idx := 0
+	for _, field := range ft.Params.List {
 		for _, name := range field.Names {
-			if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
-				out[obj] = true
+			if idx == i {
+				return name.Name
 			}
+			idx++
 		}
 	}
-	return out
-}
-
-// rootIdent unwraps an assignment target to its base identifier,
-// reporting whether the write dereferences through it (selector, index
-// or star) rather than rebinding the name itself.
-func rootIdent(e ast.Expr) (id *ast.Ident, through bool) {
-	for {
-		switch x := e.(type) {
-		case *ast.Ident:
-			return x, through
-		case *ast.SelectorExpr:
-			e, through = x.X, true
-		case *ast.IndexExpr:
-			e, through = x.X, true
-		case *ast.StarExpr:
-			e, through = x.X, true
-		case *ast.ParenExpr:
-			e = x.X
-		default:
-			return nil, false
-		}
-	}
+	return fmt.Sprintf("#%d", i)
 }

@@ -1,0 +1,24 @@
+; lateflush.s — seeded guest-lint fixture for the late-flush rule (the
+; unreleased-cache-line-across-a-barrier bug, §3.4 under a multi-copy
+; network). PE 0 dirties M[100] in its write-back cache, releases the
+; ready flag M[60] the other PEs spin on, and only THEN issues the
+; cflu. With Copies > 1 the release and the write-back ride different
+; network copies, so a consumer can acquire the flag and still read the
+; stale M[100] from central memory. The cflu keeps the unflushed-write
+; rule quiet: only late-flush (Copies > 1) catches this.
+
+        rdpe r1
+        li   r2, 100        ; data word
+        li   r8, 101        ; flush range end
+        li   r5, 60         ; ready flag (sync cell: readers spin on it)
+        li   r4, 1
+        bne  r1, r0, rd
+        li   r3, 7
+        csts r3, 0(r2)      ; dirty the line...
+        faa  r6, 0(r5), r4  ; ...release the flag FIRST (the bug)
+        cflu r2, r8         ; ...and flush only afterwards
+        halt
+rd:     lds  r6, 0(r5)      ; acquire: spin on the flag
+        beq  r6, r0, rd
+        lds  r7, 0(r2)      ; read the data the flag guards
+        halt

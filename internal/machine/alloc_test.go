@@ -1,0 +1,47 @@
+package machine
+
+import (
+	"testing"
+
+	"ultracomputer/internal/isa"
+	"ultracomputer/internal/network"
+	"ultracomputer/internal/pe"
+)
+
+// TestStepSteadyStateZeroAlloc is the dynamic counterpart of the
+// hotalloc analyzer: once the lazily-built stepper, phase closures and
+// scratch buffers exist, Machine.Step must not allocate at all. The
+// guests run an endless fetch-and-add loop so the network, combining
+// queues, memory modules and reply paths all stay busy; probes and
+// samplers are off (they buffer and box by design, see probegate).
+func TestStepSteadyStateZeroAlloc(t *testing.T) {
+	prog := isa.MustAssemble(`
+        li   r1, 100
+        li   r2, 1
+loop:   faa  r3, 0(r1), r2
+        add  r4, r4, r3
+        jmp  loop
+`)
+	const n = 8
+	cores := make([]pe.Core, n)
+	for i := range cores {
+		cores[i] = isa.NewCore(prog, 64)
+	}
+	cfg := Config{
+		Net:     network.Config{K: 2, Stages: 4, Combining: true},
+		Hashing: true,
+		PEs:     n,
+	}
+	m := New(cfg, cores)
+
+	// Warm up past one-time construction and scratch-buffer growth:
+	// first Step builds the stepper, and the per-PE collect buffers and
+	// in-flight maps take a few hundred cycles to reach capacity.
+	for i := 0; i < 2000; i++ {
+		m.Step()
+	}
+
+	if avg := testing.AllocsPerRun(500, m.Step); avg != 0 {
+		t.Fatalf("Machine.Step allocates %.2f times per cycle in steady state, want 0", avg)
+	}
+}

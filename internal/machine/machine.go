@@ -92,6 +92,16 @@ type Machine struct {
 	tickPar      bool
 	idealHold    [][]msg.Request
 	idealBuckets [][]msg.Reply
+
+	// Phase bodies and MM ports are built once (ensureStepper) so Step
+	// allocates nothing in steady state: the closures read the cycle
+	// from the receiver, and the prebuilt memory.Port values avoid
+	// re-boxing an mmPort per module per cycle.
+	mmPorts   []memory.Port
+	mmStepFn  func(lo, hi, w int)
+	collectFn func(lo, hi, w int)
+	tickFn    func(lo, hi, w int)
+	idealFn   func(lo, hi, w int)
 }
 
 type idealReply struct {
@@ -228,6 +238,35 @@ func (m *Machine) ensureStepper() {
 			m.idealBuckets = make([][]msg.Reply, len(m.pes))
 		}
 	}
+	m.mmPorts = make([]memory.Port, len(m.bank.Modules))
+	for mm := range m.mmPorts {
+		m.mmPorts[mm] = mmPort{m, mm}
+	}
+	m.mmStepFn = func(lo, hi, _ int) {
+		for mm := lo; mm < hi; mm++ {
+			m.bank.Modules[mm].Step(m.cycle, m.mmPorts[mm])
+		}
+	}
+	m.collectFn = func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			for _, rep := range m.stepper.Collect(i, m.cycle) {
+				m.pes[i].Deliver(rep, m.peCycles)
+			}
+		}
+	}
+	m.tickFn = func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			m.pes[i].Tick(m.peCycles, len(m.pes))
+		}
+	}
+	m.idealFn = func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			for _, rep := range m.idealBuckets[i] {
+				m.pes[i].Deliver(rep, m.peCycles)
+			}
+			m.idealBuckets[i] = m.idealBuckets[i][:0]
+		}
+	}
 }
 
 // SetSampler attaches a metrics sampler; every Sampler.Every network
@@ -279,33 +318,20 @@ func (p mmPort) Reply(r msg.Reply) bool       { return p.m.net.MMReply(p.mm, r) 
 // merging buffered observability in deterministic unit order between
 // phases.
 func (m *Machine) Step() {
+	//ultravet:ok hotalloc one-time lazy construction of the stepper and phase bodies on the first Step
 	m.ensureStepper()
 	if m.cfg.IdealMemory {
 		m.stepIdealDeliver()
 	} else {
 		m.stepper.Step(m.cycle)
-		m.eng.Run(len(m.bank.Modules), func(lo, hi, _ int) {
-			for mm := lo; mm < hi; mm++ {
-				m.bank.Modules[mm].Step(m.cycle, mmPort{m, mm})
-			}
-		})
+		m.eng.Run(len(m.bank.Modules), m.mmStepFn)
 		m.stepper.FlushMM()
-		m.eng.Run(len(m.pes), func(lo, hi, _ int) {
-			for i := lo; i < hi; i++ {
-				for _, rep := range m.stepper.Collect(i, m.cycle) {
-					m.pes[i].Deliver(rep, m.peCycles)
-				}
-			}
-		})
+		m.eng.Run(len(m.pes), m.collectFn)
 		m.stepper.FlushCollect()
 	}
 	if m.cycle%m.cfg.PECycle == 0 {
 		m.tickPar = m.stepper.Parallel()
-		m.eng.Run(len(m.pes), func(lo, hi, _ int) {
-			for i := lo; i < hi; i++ {
-				m.pes[i].Tick(m.peCycles, len(m.pes))
-			}
-		})
+		m.eng.Run(len(m.pes), m.tickFn)
 		m.tickPar = false
 		m.stepper.FlushInject()
 		if m.idealHold != nil {
@@ -322,8 +348,13 @@ func (m *Machine) Step() {
 		m.peCycles++
 	}
 	if m.sampler != nil && m.sampler.Due(m.cycle) {
+		// Snapshot assembly allocates, but only on sampling cycles
+		// (every Sampler.Every-th cycle), never in the steady-state tick.
+		//ultravet:ok hotalloc periodic sampling path, off the per-cycle steady state
 		sn := m.net.Snapshot(m.cycle)
+		//ultravet:ok hotalloc periodic sampling path, off the per-cycle steady state
 		m.bank.Observe(&sn)
+		//ultravet:ok hotalloc periodic sampling path, off the per-cycle steady state
 		m.sampler.Record(sn)
 	}
 	m.cycle++
@@ -345,14 +376,7 @@ func (m *Machine) stepIdealDeliver() {
 	for _, ir := range pending {
 		m.idealBuckets[ir.pe] = append(m.idealBuckets[ir.pe], ir.rep)
 	}
-	m.eng.Run(len(m.pes), func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			for _, rep := range m.idealBuckets[i] {
-				m.pes[i].Deliver(rep, m.peCycles)
-			}
-			m.idealBuckets[i] = m.idealBuckets[i][:0]
-		}
-	})
+	m.eng.Run(len(m.pes), m.idealFn)
 	m.stepper.DrainPEEvents()
 }
 

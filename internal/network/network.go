@@ -109,6 +109,14 @@ type Network struct {
 	dead     []bool // fail-stopped copies (no new requests)
 	stats    Stats
 	probe    obs.Probe
+
+	// collectBuf is the per-PE reply scratch reused by Collect every
+	// cycle (shard-owned: the collect phase is sharded by PE). The
+	// returned slice is only valid until that PE's next Collect.
+	collectBuf [][]msg.Reply
+	// onCollect is Collect's latency observation, hoisted so the serial
+	// collect path allocates nothing per cycle.
+	onCollect func(lat int64, known bool)
 }
 
 // inflightReq is the bookkeeping for one in-flight request.
@@ -147,6 +155,16 @@ func New(cfg Config) *Network {
 		n.copies = append(n.copies, newCopyNet(cfg, &n.stats))
 	}
 	n.dead = make([]bool, cfg.Copies)
+	n.collectBuf = make([][]msg.Reply, cfg.Ports())
+	n.onCollect = func(lat int64, known bool) {
+		if known {
+			n.stats.RoundTrip.Observe(float64(lat))
+			if n.stats.RoundTripHist != nil {
+				n.stats.RoundTripHist.Observe(lat)
+			}
+		}
+		n.stats.RepliesDelivered.Inc()
+	}
 	return n
 }
 
@@ -214,6 +232,7 @@ func (n *Network) injectInto(pe int, r msg.Request, cycle int64, pr obs.Probe) b
 		if c.pniQ[pe].spaceFor(r.Packets()) {
 			c.pniQ[pe].push(r)
 			n.next[pe] = (ci + 1) % len(n.copies)
+			//ultravet:ok sharecheck n.inflight[pe] belongs to the worker owning PE pe (see the field doc)
 			n.inflight[pe][r.ID] = inflightReq{copy: ci, issued: cycle}
 			if pr != nil {
 				pr.Emit(obs.Event{
@@ -273,17 +292,10 @@ func (n *Network) MMReply(mm int, rep msg.Reply) bool {
 }
 
 // Collect drains the replies fully received at PE pe, recording
-// round-trip latencies.
+// round-trip latencies. The returned slice aliases per-PE scratch and
+// is only valid until pe's next Collect.
 func (n *Network) Collect(pe int, cycle int64) []msg.Reply {
-	return n.collectInto(pe, cycle, func(lat int64, known bool) {
-		if known {
-			n.stats.RoundTrip.Observe(float64(lat))
-			if n.stats.RoundTripHist != nil {
-				n.stats.RoundTripHist.Observe(lat)
-			}
-		}
-		n.stats.RepliesDelivered.Inc()
-	}, n.probe)
+	return n.collectInto(pe, cycle, n.onCollect, n.probe)
 }
 
 // collectInto is Collect with the latency observation and event
@@ -294,16 +306,19 @@ func (n *Network) Collect(pe int, cycle int64) []msg.Reply {
 // serial engine's exactly. onReply is called once per reply; known is
 // false for replies with no in-flight record (hand-injected in tests).
 func (n *Network) collectInto(pe int, cycle int64, onReply func(lat int64, known bool), pr obs.Probe) []msg.Reply {
-	var out []msg.Reply
+	out := n.collectBuf[pe][:0]
 	for _, c := range n.copies {
 		if len(c.peRecv[pe]) > 0 {
+			//ultravet:ok hotalloc per-PE scratch reaches steady-state capacity after warmup
 			out = append(out, c.peRecv[pe]...)
 			c.peRecv[pe] = c.peRecv[pe][:0]
 		}
 	}
+	n.collectBuf[pe] = out[:0]
 	for _, rep := range out {
 		fl, ok := n.inflight[rep.PE][rep.ID]
 		if ok {
+			//ultravet:ok sharecheck n.inflight[pe] belongs to the worker owning PE pe (see the field doc)
 			delete(n.inflight[rep.PE], rep.ID)
 		}
 		onReply(cycle-fl.issued, ok)

@@ -15,7 +15,12 @@ import "ultracomputer/internal/msg"
 // per cycle, associative match of a new entry against queued entries —
 // without simulating the column movements.
 type reqQueue struct {
+	// entries[head:] are the live requests; the popped prefix is
+	// reclaimed on push so the backing array reaches a steady-state
+	// capacity (the queue is packet-bounded) and the tick loop never
+	// allocates.
 	entries []reqEntry
+	head    int
 	packets int
 	cap     int
 }
@@ -32,27 +37,36 @@ func newReqQueue(capPackets int) *reqQueue { return &reqQueue{cap: capPackets} }
 func (q *reqQueue) spaceFor(pk int) bool { return q.packets+pk <= q.cap }
 
 // empty reports whether the queue holds no requests.
-func (q *reqQueue) empty() bool { return len(q.entries) == 0 }
+func (q *reqQueue) empty() bool { return q.head == len(q.entries) }
 
 // len reports the number of queued requests (not packets).
-func (q *reqQueue) len() int { return len(q.entries) }
+func (q *reqQueue) len() int { return len(q.entries) - q.head }
 
 // occupancy reports the queue occupancy in packets.
 func (q *reqQueue) occupancy() int { return q.packets }
 
 // push appends a request. The caller must have checked spaceFor.
 func (q *reqQueue) push(r msg.Request) {
+	if q.head > 0 && len(q.entries) == cap(q.entries) {
+		n := copy(q.entries, q.entries[q.head:])
+		q.entries = q.entries[:n]
+		q.head = 0
+	}
 	q.entries = append(q.entries, reqEntry{req: r})
 	q.packets += r.Packets()
 }
 
 // pop removes and returns the head request.
 func (q *reqQueue) pop() (msg.Request, bool) {
-	if len(q.entries) == 0 {
+	if q.head == len(q.entries) {
 		return msg.Request{}, false
 	}
-	e := q.entries[0]
-	q.entries = q.entries[1:]
+	e := q.entries[q.head]
+	q.head++
+	if q.head == len(q.entries) {
+		q.head = 0
+		q.entries = q.entries[:0]
+	}
 	q.packets -= e.req.Packets()
 	return e.req, true
 }
@@ -60,7 +74,7 @@ func (q *reqQueue) pop() (msg.Request, bool) {
 // findCombinable returns the index of a queued entry that can absorb r
 // (same memory word, compatible operations, not yet combined), or -1.
 func (q *reqQueue) findCombinable(r msg.Request) int {
-	for i := range q.entries {
+	for i := q.head; i < len(q.entries); i++ {
 		e := &q.entries[i]
 		if e.combined || e.req.Addr != r.Addr {
 			continue
@@ -94,7 +108,9 @@ func (q *reqQueue) updateCombined(i int, op msg.Op, operand int64) bool {
 // repQueue is a switch output queue on the MM-to-PE path (a "ToPE queue",
 // §3.3): a plain packet-bounded FIFO of replies.
 type repQueue struct {
+	// Same popped-prefix reclamation as reqQueue (see above).
 	entries []msg.Reply
+	head    int
 	packets int
 	cap     int
 }
@@ -102,21 +118,30 @@ type repQueue struct {
 func newRepQueue(capPackets int) *repQueue { return &repQueue{cap: capPackets} }
 
 func (q *repQueue) spaceFor(pk int) bool { return q.packets+pk <= q.cap }
-func (q *repQueue) empty() bool          { return len(q.entries) == 0 }
-func (q *repQueue) len() int             { return len(q.entries) }
+func (q *repQueue) empty() bool          { return q.head == len(q.entries) }
+func (q *repQueue) len() int             { return len(q.entries) - q.head }
 func (q *repQueue) occupancy() int       { return q.packets }
 
 func (q *repQueue) push(r msg.Reply) {
+	if q.head > 0 && len(q.entries) == cap(q.entries) {
+		n := copy(q.entries, q.entries[q.head:])
+		q.entries = q.entries[:n]
+		q.head = 0
+	}
 	q.entries = append(q.entries, r)
 	q.packets += r.Packets()
 }
 
 func (q *repQueue) pop() (msg.Reply, bool) {
-	if len(q.entries) == 0 {
+	if q.head == len(q.entries) {
 		return msg.Reply{}, false
 	}
-	r := q.entries[0]
-	q.entries = q.entries[1:]
+	r := q.entries[q.head]
+	q.head++
+	if q.head == len(q.entries) {
+		q.head = 0
+		q.entries = q.entries[:0]
+	}
 	q.packets -= r.Packets()
 	return r, true
 }

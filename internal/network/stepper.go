@@ -58,6 +58,26 @@ type Stepper struct {
 	peDelivered []int64
 	mmDelivered []int64
 	collectFns  []func(lat int64, known bool)
+
+	// Phase bodies are hoisted here so Step allocates nothing: each
+	// closure is built once in NewStepper and reads its per-cycle inputs
+	// from phCycle/phStage, set by the coordinator between barriers.
+	phCycle    int64
+	phStage    int
+	phFwdPNI   func(ci, sw int, sk *sink)
+	phFwdStage func(ci, sw int, sk *sink)
+	phFwdLast  func(ci, sw int, sk *sink)
+	phDeferred func(ci, sw int, sk *sink)
+	phRevMNI   func(ci, sw int, sk *sink)
+	phRevStage func(ci, sw int, sk *sink)
+	phRevPE    func(ci, sw int, sk *sink)
+
+	// phase()'s own shard body and its inputs, hoisted the same way;
+	// serialSink is the reused serial-path sink.
+	phaseRun    func(ci, sw int, sk *sink)
+	phaseProbed bool
+	phaseBody   func(lo, hi, w int)
+	serialSink  sink
 }
 
 // NewStepper builds a stepper for n driven by eng (nil means the serial
@@ -76,6 +96,7 @@ func NewStepper(n *Network, eng engine.Engine) *Stepper {
 	}
 	st.fwdFeed = feederTable(t, t.unshuffle)
 	st.revFeed = feederTable(t, t.shuffle)
+	st.buildPhases(n.cfg.Stages, n.cfg.K)
 	if st.par {
 		ports := n.Ports()
 		st.wstats = make([]Stats, eng.Workers())
@@ -98,6 +119,70 @@ func NewStepper(n *Network, eng engine.Engine) *Stepper {
 		}
 	}
 	return st
+}
+
+// buildPhases constructs every phase closure once. The bodies read the
+// cycle (and, for the per-stage phases, the stage index) from
+// phCycle/phStage, which the Step coordinator sets between engine
+// barriers, so driving a cycle allocates nothing.
+func (st *Stepper) buildPhases(stages, k int) {
+	st.phFwdPNI = func(ci, sw int, sk *sink) {
+		c := st.n.copies[ci]
+		for _, l := range st.fwdFeed[sw] {
+			c.pumpRequest(&c.pniSrv[l], st.phCycle, -1, l, sk)
+		}
+	}
+	st.phFwdStage = func(ci, sw int, sk *sink) {
+		c := st.n.copies[ci]
+		for _, l := range st.fwdFeed[sw] {
+			c.pumpRequest(&c.fsrv[st.phStage][l], st.phCycle, st.phStage, l, sk)
+		}
+	}
+	st.phFwdLast = func(ci, sw int, sk *sink) {
+		// Last stage into the MNIs: output line l is MM l, so switch sw
+		// owns lines (and MMs) sw·k+j outright.
+		last := stages - 1
+		c := st.n.copies[ci]
+		for j := 0; j < k; j++ {
+			l := sw*k + j
+			c.pumpRequest(&c.fsrv[last][l], st.phCycle, last, l, sk)
+		}
+	}
+	st.phDeferred = func(ci, sw int, sk *sink) {
+		st.n.copies[ci].flushDeferredSwitch(sw, st.phCycle, sk)
+	}
+	st.phRevMNI = func(ci, sw int, sk *sink) {
+		// MNI links: MM m is wired to last-stage switch m/k.
+		c := st.n.copies[ci]
+		for j := 0; j < k; j++ {
+			mm := sw*k + j
+			c.pumpReply(&c.mmSrv[mm], st.phCycle, stages, mm, sk)
+		}
+	}
+	st.phRevStage = func(ci, sw int, sk *sink) {
+		c := st.n.copies[ci]
+		for _, l := range st.revFeed[sw] {
+			c.pumpReply(&c.rsrv[st.phStage][l], st.phCycle, st.phStage, l, sk)
+		}
+	}
+	st.phRevPE = func(ci, sw int, sk *sink) {
+		// Stage 0 into the PE buffers: unshuffle is a permutation, so
+		// the k lines of switch sw deliver to k distinct PEs.
+		c := st.n.copies[ci]
+		for j := 0; j < k; j++ {
+			l := sw*k + j
+			c.pumpReply(&c.rsrv[0][l], st.phCycle, 0, l, sk)
+		}
+	}
+	st.phaseBody = func(lo, hi, w int) {
+		sk := sink{stats: &st.wstats[w]}
+		for u := lo; u < hi; u++ {
+			if st.phaseProbed {
+				sk.probe = &st.swEvents[u]
+			}
+			st.phaseRun(u/st.group, u%st.group, &sk)
+		}
+	}
 }
 
 // feederTable computes, per destination switch, the sorted input lines
@@ -131,23 +216,17 @@ func (st *Stepper) Engine() engine.Engine { return st.eng }
 func (st *Stepper) phase(run func(ci, sw int, sk *sink)) {
 	n := st.n
 	if !st.par {
-		sk := sink{stats: &n.stats, probe: n.probe}
+		st.serialSink = sink{stats: &n.stats, probe: n.probe}
 		for u := 0; u < st.units; u++ {
-			run(u/st.group, u%st.group, &sk)
+			run(u/st.group, u%st.group, &st.serialSink)
 		}
 		return
 	}
-	probed := n.probe != nil
-	st.eng.Run(st.units, func(lo, hi, w int) {
-		sk := sink{stats: &st.wstats[w]}
-		for u := lo; u < hi; u++ {
-			if probed {
-				sk.probe = &st.swEvents[u]
-			}
-			run(u/st.group, u%st.group, &sk)
-		}
-	})
-	if probed {
+	st.phaseProbed = n.probe != nil
+	st.phaseRun = run
+	st.eng.Run(st.units, st.phaseBody)
+	st.phaseRun = nil
+	if st.phaseProbed {
 		for u := range st.swEvents {
 			st.swEvents[u].DrainTo(n.probe)
 		}
@@ -159,63 +238,24 @@ func (st *Stepper) phase(run func(ci, sw int, sk *sink)) {
 // under any engine produces the same state and statistics.
 func (st *Stepper) Step(cycle int64) {
 	stages := st.n.cfg.Stages
-	k := st.n.cfg.K
+	st.phCycle = cycle
 
 	// Forward path, upstream-first like copyNet.stepForward.
-	st.phase(func(ci, sw int, sk *sink) {
-		c := st.n.copies[ci]
-		for _, l := range st.fwdFeed[sw] {
-			c.pumpRequest(&c.pniSrv[l], cycle, -1, l, sk)
-		}
-	})
+	st.phase(st.phFwdPNI)
 	for s := 0; s < stages-1; s++ {
-		st.phase(func(ci, sw int, sk *sink) {
-			c := st.n.copies[ci]
-			for _, l := range st.fwdFeed[sw] {
-				c.pumpRequest(&c.fsrv[s][l], cycle, s, l, sk)
-			}
-		})
+		st.phStage = s
+		st.phase(st.phFwdStage)
 	}
-	last := stages - 1
-	st.phase(func(ci, sw int, sk *sink) {
-		// Last stage into the MNIs: output line l is MM l, so switch sw
-		// owns lines (and MMs) sw·k+j outright.
-		c := st.n.copies[ci]
-		for j := 0; j < k; j++ {
-			l := sw*k + j
-			c.pumpRequest(&c.fsrv[last][l], cycle, last, l, sk)
-		}
-	})
+	st.phase(st.phFwdLast)
 
 	// Reverse path, mirroring copyNet.stepReverse.
-	st.phase(func(ci, sw int, sk *sink) {
-		st.n.copies[ci].flushDeferredSwitch(sw, cycle, sk)
-	})
-	st.phase(func(ci, sw int, sk *sink) {
-		// MNI links: MM m is wired to last-stage switch m/k.
-		c := st.n.copies[ci]
-		for j := 0; j < k; j++ {
-			mm := sw*k + j
-			c.pumpReply(&c.mmSrv[mm], cycle, stages, mm, sk)
-		}
-	})
+	st.phase(st.phDeferred)
+	st.phase(st.phRevMNI)
 	for s := stages - 1; s >= 1; s-- {
-		st.phase(func(ci, sw int, sk *sink) {
-			c := st.n.copies[ci]
-			for _, l := range st.revFeed[sw] {
-				c.pumpReply(&c.rsrv[s][l], cycle, s, l, sk)
-			}
-		})
+		st.phStage = s
+		st.phase(st.phRevStage)
 	}
-	st.phase(func(ci, sw int, sk *sink) {
-		// Stage 0 into the PE buffers: unshuffle is a permutation, so
-		// the k lines of switch sw deliver to k distinct PEs.
-		c := st.n.copies[ci]
-		for j := 0; j < k; j++ {
-			l := sw*k + j
-			c.pumpReply(&c.rsrv[0][l], cycle, 0, l, sk)
-		}
-	})
+	st.phase(st.phRevPE)
 
 	if st.par {
 		for w := range st.wstats {

@@ -166,7 +166,7 @@ func (s *SystolicQueue) Step(in *msg.Request, canExit bool) (out SystolicOutput,
 // right entry that already has a match-column partner is skipped —
 // pairwise combination only — which we detect by the slot being marked.
 func (s *SystolicQueue) matchAt(i int, it msg.Request) (int, bool) {
-	for _, j := range []int{i, i + 1} {
+	for j := i; j <= i+1; j++ {
 		if j < 0 || j >= s.height {
 			continue
 		}

@@ -105,12 +105,13 @@ func (g *GoCore) send(a *action) { g.actions <- a }
 func (g *GoCore) Tick(env *Env) TickResult {
 	if !g.started {
 		g.started = true
+		//ultravet:ok hotalloc one-time guest start on the first tick
 		ctx := &Ctx{core: g, pe: env.PEID(), npe: env.NumPE()}
 		// The guest goroutine advances only inside this PE's own Tick
 		// via the actions channel handshake, so it never runs
 		// concurrently with phase code.
-		//stagecheck:ok
-		go func() {
+		//ultravet:ok hotalloc one-time guest start on the first tick
+		go func() { //ultravet:ok stagecheck tick-synchronized guest goroutine
 			g.prog(ctx)
 			close(g.actions)
 		}()
@@ -131,6 +132,10 @@ func (g *GoCore) Tick(env *Env) TickResult {
 		switch a.kind {
 		case aCompute:
 			if a.n <= 0 {
+				// The guest goroutine is parked on <-a.done and only this
+				// PE's Tick sends: the channel is the tick-synchronized
+				// handshake, not cross-shard communication.
+				//ultravet:ok sharecheck a.done handshake wakes this PE's own parked guest goroutine
 				a.done <- 0
 				g.cur = nil
 				continue
@@ -148,6 +153,7 @@ func (g *GoCore) Tick(env *Env) TickResult {
 				if env.Issue(a.op, a.addr, a.operand, tag) {
 					g.takeTag()
 					a.issued = true
+					//ultravet:ok sharecheck g.waiting belongs to this PE's core; the tick phase shards by PE
 					g.waiting[tag] = a
 					return TickResult{Executed: true}
 				}
@@ -221,6 +227,9 @@ func (g *GoCore) Complete(tag int, value int64) {
 	if a, ok := g.waiting[tag]; ok {
 		delete(g.waiting, tag)
 		g.freeTags = append(g.freeTags, tag)
+		// a is this core's own in-flight action record; the deliver
+		// phase shards by PE, so no other worker can touch it.
+		//ultravet:ok sharecheck the action record belongs to this PE's core
 		a.completed = true
 		a.value = value
 		return
@@ -252,6 +261,10 @@ func (c *Ctx) NumPE() int { return c.npe }
 
 // Compute spends n processor cycles of pure register-to-register work.
 func (c *Ctx) Compute(n int) {
+	// One action per guest operation is the price of the Go-guest
+	// programming model; GoCore models programmability, not host cost
+	// (use isa.Core for allocation-free guests).
+	//ultravet:ok hotalloc guest handshake allocates one action per operation by design
 	a := &action{kind: aCompute, n: n, done: make(chan int64, 1)}
 	c.core.send(a)
 	<-a.done

@@ -77,6 +77,11 @@ type PE struct {
 	probe      obs.Probe
 	probeScale int64
 	stall      obs.StallCause // current stall run's cause, CauseNone when running
+
+	// env is the Env handed to the core each tick, a field rather than a
+	// stack value because passing &env through the Core interface would
+	// force a heap allocation every cycle.
+	env Env
 }
 
 // probeSettable lets a core receive the probe the machine attached to
@@ -132,8 +137,8 @@ func (p *PE) Tick(cycle int64, npe int) {
 	if p.halted {
 		return
 	}
-	env := Env{pe: p, cycle: cycle, npe: npe}
-	r := p.core.Tick(&env)
+	p.env = Env{pe: p, cycle: cycle, npe: npe}
+	r := p.core.Tick(&p.env)
 	switch {
 	case r.Halted:
 		p.halted = true
@@ -148,10 +153,10 @@ func (p *PE) Tick(cycle int64, npe int) {
 		p.stats.IdleCycles.Inc()
 		cause := obs.CauseMemory
 		switch {
-		case env.refusedNet:
+		case p.env.refusedNet:
 			cause = obs.CauseNetFull
 			p.stats.IdleNetFull.Inc()
-		case env.refusedPipe:
+		case p.env.refusedPipe:
 			cause = obs.CausePipeline
 			p.stats.IdlePipeline.Inc()
 		default:

@@ -86,6 +86,7 @@ func (p *PNI) complete(rep msg.Reply) (tag int, issuedAt int64, ok bool) {
 	if !found {
 		return 0, 0, false
 	}
+	//ultravet:ok sharecheck p.pending belongs to this PE's interface; the deliver phase shards by PE
 	delete(p.pending, rep.ID)
 	delete(p.byAddr, pr.addr)
 	return pr.tag, pr.issuedAt, true

@@ -36,6 +36,11 @@ type Clock struct {
 	now     int64
 	tickers []Ticker
 	eng     engine.Engine
+
+	// Phase bodies hoisted so Step allocates nothing: built once in
+	// SetEngine, they read the cycle from the receiver.
+	computeFn func(lo, hi, w int)
+	commitFn  func(lo, hi, w int)
 }
 
 // NewClock returns a clock at cycle zero with no registered components.
@@ -53,7 +58,21 @@ func (c *Clock) Register(ts ...Ticker) { c.tickers = append(c.tickers, ts...) }
 // serial execution). Because the two-phase contract makes results
 // independent of ticking order, any engine produces identical state;
 // the caller owns eng and must Close it after the run.
-func (c *Clock) SetEngine(e engine.Engine) { c.eng = e }
+func (c *Clock) SetEngine(e engine.Engine) {
+	c.eng = e
+	if c.computeFn == nil {
+		c.computeFn = func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				c.tickers[i].Compute(c.now)
+			}
+		}
+		c.commitFn = func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				c.tickers[i].Commit(c.now)
+			}
+		}
+	}
+}
 
 // Step advances the simulation by one cycle: every component's Compute,
 // a barrier, then every Commit. Under a parallel engine each phase is
@@ -70,16 +89,8 @@ func (c *Clock) Step() {
 		c.now++
 		return
 	}
-	c.eng.Run(len(c.tickers), func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			c.tickers[i].Compute(c.now)
-		}
-	})
-	c.eng.Run(len(c.tickers), func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			c.tickers[i].Commit(c.now)
-		}
-	})
+	c.eng.Run(len(c.tickers), c.computeFn)
+	c.eng.Run(len(c.tickers), c.commitFn)
 	c.now++
 }
 

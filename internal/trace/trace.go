@@ -226,6 +226,7 @@ func RunEngine(cfg network.Config, w Workload, warmup, measure int64, eng engine
 				if st.Inject(pe, req, cycle) {
 					if measuring {
 						injected[pe]++
+						//ultravet:ok sharecheck issueCycle[pe] belongs to the worker owning PE pe
 						issueCycle[pe][req.ID] = cycle
 					}
 				}
@@ -274,6 +275,7 @@ func RunEngine(cfg network.Config, w Workload, warmup, measure int64, eng engine
 				for _, rep := range st.Collect(pe, cycle) {
 					if t0, tracked := issueCycle[rep.PE][rep.ID]; tracked {
 						rtBuf[pe] = append(rtBuf[pe], float64(cycle-t0))
+						//ultravet:ok sharecheck issueCycle[pe] belongs to the worker owning PE pe
 						delete(issueCycle[rep.PE], rep.ID)
 					}
 				}
