@@ -27,12 +27,13 @@ test:
 	$(GO) test ./...
 
 # Simulator performance benchmark: the Figure 7 candidate switch shapes
-# under fixed seeded loads plus the serial-vs-parallel engine scaling
-# matrix on a 256-port machine, written as JSON for commit-over-commit
-# comparison (speedups are only meaningful on multi-core hosts; the
-# file records host_cpus).
+# under fixed seeded loads, request-tracing overhead rows (tracer off /
+# attached-at-rate-0 / sampled-1%), plus the serial-vs-parallel engine
+# scaling matrix on a 256-port machine, written as JSON for
+# commit-over-commit comparison (speedups are only meaningful on
+# multi-core hosts; the file records host_cpus).
 bench:
-	$(GO) run ./cmd/netperf -bench BENCH_PR4.json
+	$(GO) run ./cmd/netperf -bench BENCH_PR6.json
 
 # Engine equivalence: the serial and parallel engines must produce
 # byte-identical traces, metrics, reports and final state. Run under
@@ -44,10 +45,12 @@ equivalence:
 	GOMAXPROCS=1 $(GO) test -count=1 -run 'EngineEquivalence|RunEngineEquivalence' ./internal/machine/ ./internal/trace/
 
 # Guard the observability contract: a disabled (nil) probe must add zero
-# allocations to the hot paths, and an enabled ring recorder must not
-# allocate per event.
+# allocations to the hot paths, an enabled ring recorder must not
+# allocate per event, and an attached request tracer at sampling rate 0
+# must keep Machine.Step allocation-free.
 bench-guard:
 	$(GO) test ./internal/obs/ -run 'ZeroAlloc' -count=1 -v
+	$(GO) test ./internal/machine/ -run 'ZeroAlloc' -count=1 -v
 
 # End-to-end smoke: produce a Chrome trace and a metrics series from the
 # shipped examples (outputs land in /tmp).

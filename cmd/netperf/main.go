@@ -27,6 +27,7 @@ import (
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
 	"ultracomputer/internal/obs/live"
+	"ultracomputer/internal/obs/reqtrace"
 	"ultracomputer/internal/sim"
 	"ultracomputer/internal/trace"
 )
@@ -46,8 +47,11 @@ func main() {
 	rate := flag.Float64("rate", 0.25, "traffic intensity of the instrumented run (requests per PE per cycle)")
 	combining := flag.Bool("combining", true, "combine requests in the instrumented run (disable to expose raw tree saturation)")
 	measure := flag.Int64("measure", 8000, "measured cycles of the instrumented run (after a 1000-cycle warmup)")
-	serveAddr := flag.String("serve", "", "run the instrumented simulation with live telemetry on this address (/metrics, /snapshot.json, /events)")
+	serveAddr := flag.String("serve", "", "run the instrumented simulation with live telemetry on this address (/metrics, /snapshot.json, /events, /trace/flight)")
 	confThreshold := flag.Float64("conformance-threshold", 0, "measured/predicted round-trip drift ratio that raises the model-conformance alert (0 = default)")
+	reqRate := flag.Float64("reqtrace", 0, "fraction of the instrumented run's requests to trace causally (0 = off, 1 = all)")
+	spansOut := flag.String("spans", "", "write the instrumented run's request-trace spans as JSONL to this file (implies -reqtrace 1 when the rate is unset)")
+	flightDir := flag.String("flight-dir", "", "directory for alert-triggered flight-recorder dumps, flight-<cycle>.jsonl (implies -reqtrace 1 when the rate is unset)")
 	benchOut := flag.String("bench", "", "run the simulator benchmark suite and write JSON results to this file")
 	engineFlag := flag.String("engine", "serial", "execution engine for the instrumented run: serial or parallel (byte-identical outputs either way)")
 	workers := flag.Int("workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
@@ -68,11 +72,12 @@ func main() {
 		return
 	}
 
-	if *traceOut != "" || *metricsOut != "" || *serveAddr != "" {
+	if *traceOut != "" || *metricsOut != "" || *serveAddr != "" || *reqRate > 0 || *spansOut != "" || *flightDir != "" {
 		opts := observeOpts{
 			tracePath: *traceOut, metricsPath: *metricsOut, serveAddr: *serveAddr,
 			every: *sampleEvery, ports: *simPorts, rate: *rate, hot: *hot,
 			combining: *combining, measure: *measure, threshold: *confThreshold,
+			reqRate: *reqRate, spansPath: *spansOut, flightDir: *flightDir,
 			eng: eng,
 		}
 		if err := observe(opts); err != nil {
@@ -124,6 +129,8 @@ type observeOpts struct {
 	combining                         bool
 	measure                           int64
 	threshold                         float64
+	reqRate                           float64
+	spansPath, flightDir              string
 	eng                               engine.Engine
 }
 
@@ -150,26 +157,44 @@ func observe(o observeOpts) error {
 		w.Probe = rec
 	}
 	var sampler *obs.Sampler
-	if o.metricsPath != "" || o.serveAddr != "" {
+	if o.metricsPath != "" || o.serveAddr != "" || o.flightDir != "" {
 		sampler = obs.NewSampler(o.every)
 		w.Sampler = sampler
 	}
+	var tracer *reqtrace.Tracer
+	if o.reqRate > 0 || o.spansPath != "" || o.flightDir != "" {
+		r := o.reqRate
+		if r == 0 {
+			r = 1
+		}
+		tracer = reqtrace.New(reqtrace.Config{Rate: r})
+		w.Tracer = tracer
+	}
 	var feed *live.Feed
 	var srv *live.Server
-	if o.serveAddr != "" {
-		srv = live.NewServer()
+	if o.serveAddr != "" || o.flightDir != "" {
+		if o.serveAddr != "" {
+			srv = live.NewServer()
+			if tracer != nil {
+				srv.SetFlight(tracer)
+			}
+		}
 		feed = &live.Feed{
-			Server:   srv,
-			Monitor:  live.NewMonitor(live.ModelFor(cfg, 0, o.threshold)),
-			Recorder: rec,
+			Server:    srv,
+			Monitor:   live.NewMonitor(live.ModelFor(cfg, 0, o.threshold)),
+			Recorder:  rec,
+			Tracer:    tracer,
+			FlightDir: o.flightDir,
 		}
 		feed.Attach(sampler)
-		hs, bound, err := srv.Start(o.serveAddr)
-		if err != nil {
-			return err
+		if srv != nil {
+			hs, bound, err := srv.Start(o.serveAddr)
+			if err != nil {
+				return err
+			}
+			defer hs.Close()
+			fmt.Printf("telemetry: http://%s/metrics\n", bound)
 		}
-		defer hs.Close()
-		fmt.Printf("telemetry: http://%s/metrics\n", bound)
 	}
 	r := trace.RunEngine(cfg, w, 1000, o.measure, o.eng)
 	fmt.Printf("instrumented run: %d ports, %d stages, rate=%.3f hot=%.2f\n  %s\n",
@@ -198,6 +223,21 @@ func observe(o observeOpts) error {
 		}
 		fmt.Printf("wrote %s (%d samples)\n%s", o.metricsPath, len(sampler.Snapshots()), sampler.Summary())
 	}
+	if tracer != nil {
+		fmt.Printf("request tracing: %d spans completed, %d combine links, mean latency %.1f cycles\n",
+			tracer.Completed(), tracer.CombineLinks(), tracer.MeanLatency())
+		if o.spansPath != "" {
+			if err := writeFile(o.spansPath, tracer.WriteSpansJSONL); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (inspect with: tables -spans %s)\n", o.spansPath, o.spansPath)
+		}
+		if feed != nil {
+			for _, p := range feed.FlightDumps() {
+				fmt.Printf("flight recorder dumped %s\n", p)
+			}
+		}
+	}
 	if o.serveAddr != "" {
 		fmt.Println("run finished; serving the final snapshot until interrupted (Ctrl-C)")
 		ch := make(chan os.Signal, 1)
@@ -218,6 +258,8 @@ type benchRow struct {
 	Engine       string  `json:"engine"`
 	Workers      int     `json:"workers"`
 	Rate         float64 `json:"rate"`
+	ReqtraceRate float64 `json:"reqtrace_rate,omitempty"`
+	Spans        int64   `json:"spans,omitempty"`
 	Speedup      float64 `json:"speedup_vs_serial,omitempty"`
 	Cycles       int64   `json:"cycles"`
 	WallSeconds  float64 `json:"wall_seconds"`
@@ -262,12 +304,13 @@ func bench(path string) error {
 		}
 		return stages
 	}
-	runOne := func(cfg network.Config, name string, copies int, rate float64, warmup, measure int64, eng engine.Engine, engName string, workers int) (benchRow, error) {
+	runOne := func(cfg network.Config, name string, copies int, rate float64, warmup, measure int64, eng engine.Engine, engName string, workers int, tr *reqtrace.Tracer) (benchRow, error) {
 		if err := cfg.Validate(); err != nil {
 			return benchRow{}, err
 		}
+		w := trace.Workload{Rate: rate, Hash: true, Seed: 17, Tracer: tr}
 		start := time.Now()
-		r := trace.RunEngine(cfg, trace.Workload{Rate: rate, Hash: true, Seed: 17}, warmup, measure, eng)
+		r := trace.RunEngine(cfg, w, warmup, measure, eng)
 		wall := time.Since(start).Seconds()
 		row := benchRow{
 			Config: name, K: cfg.K, Copies: copies, Ports: cfg.Ports(),
@@ -278,6 +321,10 @@ func bench(path string) error {
 			Throughput: r.Throughput, Combines: r.Combines,
 			RTMean: r.RoundTrip.Value(), RTP50: r.RTP50, RTP99: r.RTP99,
 		}
+		if tr != nil {
+			row.ReqtraceRate = tr.Rate()
+			row.Spans = tr.Completed()
+		}
 		fmt.Printf("%-6s %-8s w=%-2d rate=%.2f  %8.0f cycles/s  rt p50=%.0f p99=%.0f  thpt=%.4f\n",
 			row.Config, row.Engine, row.Workers, row.Rate, row.CyclesPerSec, row.RTP50, row.RTP99, row.Throughput)
 		return row, nil
@@ -287,12 +334,29 @@ func bench(path string) error {
 	for _, s := range shapes {
 		cfg := network.Config{K: s.k, Stages: stagesFor(s.k, ports), Copies: s.copies, Combining: true}
 		for _, rate := range []float64{0.10, 0.20} {
-			row, err := runOne(cfg, s.name, s.copies, rate, warmup, measure, nil, "serial", 0)
+			row, err := runOne(cfg, s.name, s.copies, rate, warmup, measure, nil, "serial", 0, nil)
 			if err != nil {
 				return err
 			}
 			rows = append(rows, row)
 		}
+	}
+
+	// Tracing overhead: the k2-d1 shape at the higher load with the
+	// request tracer attached at rate 0 (the nil-context fast path the
+	// zero-alloc test pins) and at a 1% sampling rate, beside the
+	// tracer-free row above. The three rows bound what -reqtrace costs.
+	trCfg := network.Config{K: 2, Stages: stagesFor(2, ports), Combining: true}
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{{"k2-d1+tr0", 0}, {"k2-d1+tr1%", 0.01}} {
+		tr := reqtrace.New(reqtrace.Config{Rate: tc.rate})
+		row, err := runOne(trCfg, tc.name, 1, 0.20, warmup, measure, nil, "serial", 0, tr)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
 	}
 
 	// Engine scaling matrix on the large machine.
@@ -303,14 +367,14 @@ func bench(path string) error {
 		bigRate    = 0.20
 	)
 	bigCfg := network.Config{K: 2, Stages: stagesFor(2, bigPorts), Combining: true}
-	serialRow, err := runOne(bigCfg, "k2-big", 1, bigRate, bigWarmup, bigMeasure, nil, "serial", 0)
+	serialRow, err := runOne(bigCfg, "k2-big", 1, bigRate, bigWarmup, bigMeasure, nil, "serial", 0, nil)
 	if err != nil {
 		return err
 	}
 	rows = append(rows, serialRow)
 	for _, w := range []int{2, 4, 8} {
 		eng := engine.NewParallel(w)
-		row, err := runOne(bigCfg, "k2-big", 1, bigRate, bigWarmup, bigMeasure, eng, "parallel", w)
+		row, err := runOne(bigCfg, "k2-big", 1, bigRate, bigWarmup, bigMeasure, eng, "parallel", w, nil)
 		eng.Close()
 		if err != nil {
 			return err

@@ -10,6 +10,11 @@
 //
 // With -from host:port it instead renders a one-shot text dashboard
 // from a running live telemetry server (ultrasim/netperf -serve).
+//
+// With -spans file.jsonl it renders a request-trace span dump as ASCII
+// waterfalls: each traced request's per-hop timeline on a shared time
+// axis, combine points marked, absorbed children indented beneath the
+// request that carried their operation to memory.
 package main
 
 import (
@@ -27,7 +32,17 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller problem sizes for a fast run")
 	jsonOut := flag.Bool("json", false, "emit Table 1 as JSON machine reports instead of the formatted table")
 	from := flag.String("from", "", "render a one-shot dashboard from a running telemetry server (host:port or URL) instead of regenerating tables")
+	spansIn := flag.String("spans", "", "render a request-trace span dump (ultrasim/netperf -spans or a flight-<cycle>.jsonl) as ASCII waterfalls instead of regenerating tables")
+	spanLimit := flag.Int("span-limit", 5, "how many trees -spans renders, slowest first (0 = all)")
 	flag.Parse()
+
+	if *spansIn != "" {
+		if err := runSpans(os.Stdout, *spansIn, *spanLimit); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *from != "" {
 		if err := runDashboard(*from); err != nil {

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ultracomputer/internal/obs/reqtrace"
+)
+
+// runSpans renders a span dump (ultrasim/netperf/hotspot -spans, or a
+// flight-recorder file) as ASCII waterfalls: one tree per traced
+// request that reached memory itself, children indented beneath the
+// parent that absorbed them, every hop on a shared time axis with its
+// delta from the previous hop. Trees are ordered slowest first, so the
+// requests worth explaining come up top.
+func runSpans(w io.Writer, path string, limit int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	spans, err := reqtrace.ReadSpans(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		fmt.Fprintf(w, "%s: no spans\n", path)
+		return nil
+	}
+
+	byID := make(map[uint64]*reqtrace.Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	var roots []*reqtrace.Span
+	var combined, slow int
+	var totalLatency int64
+	for _, s := range spans {
+		if s.Combined() {
+			combined++
+		}
+		if s.Slow {
+			slow++
+		}
+		totalLatency += s.Latency
+		// A span whose parent is missing from the dump (ring overwrote
+		// it) still renders, as its own root.
+		if s.Parent == 0 || byID[s.Parent] == nil {
+			roots = append(roots, s)
+		}
+	}
+	fmt.Fprintf(w, "%s: %d spans, %d combined, %d slow-outlier, mean latency %.1f cycles\n",
+		path, len(spans), combined, slow, float64(totalLatency)/float64(len(spans)))
+
+	// Slowest trees first; ID breaks ties so the listing is
+	// deterministic for a given dump.
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].Latency != roots[j].Latency {
+			return roots[i].Latency > roots[j].Latency
+		}
+		return roots[i].ID < roots[j].ID
+	})
+	if limit > 0 && len(roots) > limit {
+		fmt.Fprintf(w, "showing the %d slowest of %d trees (-span-limit to change)\n", limit, len(roots))
+		roots = roots[:limit]
+	}
+	for _, r := range roots {
+		fmt.Fprintln(w)
+		lo, hi := treeExtent(r, byID, r.Issued, r.Done)
+		renderSpan(w, r, byID, 0, lo, hi, map[uint64]bool{})
+	}
+	return nil
+}
+
+// treeExtent widens [lo, hi] to cover every span in the tree, so all
+// waterfall bars share one time axis.
+func treeExtent(s *reqtrace.Span, byID map[uint64]*reqtrace.Span, lo, hi int64) (int64, int64) {
+	if s.Issued < lo {
+		lo = s.Issued
+	}
+	if s.Done > hi {
+		hi = s.Done
+	}
+	for _, c := range s.Children {
+		if child := byID[c]; child != nil && child.Parent == s.ID {
+			lo, hi = treeExtent(child, byID, lo, hi)
+		}
+	}
+	return lo, hi
+}
+
+// spanBarWidth is the waterfall column width in characters.
+const spanBarWidth = 40
+
+func renderSpan(w io.Writer, s *reqtrace.Span, byID map[uint64]*reqtrace.Span, depth int, lo, hi int64, seen map[uint64]bool) {
+	if seen[s.ID] {
+		return
+	}
+	seen[s.ID] = true
+	pad := indent(depth)
+	role := ""
+	switch {
+	case s.Adopted:
+		role = "  (adopted mid-flight)"
+	case s.Parent != 0:
+		role = fmt.Sprintf("  (absorbed by %d)", s.Parent)
+	}
+	fmt.Fprintf(w, "%sspan %d  pe%d %s mm%d:%d  issued %d  done %d  latency %d%s\n",
+		pad, s.ID, s.PE, s.Op, s.MM, s.Word, s.Issued, s.Done, s.Latency, role)
+	if s.WaitCycles > 0 {
+		fmt.Fprintf(w, "%s  wait-buffer residency: %d cycles\n", pad, s.WaitCycles)
+	}
+	prev := s.Issued
+	for _, h := range s.Hops {
+		mark := "*"
+		note := ""
+		switch h.Kind {
+		case reqtrace.HopCombine:
+			mark = "+"
+			if len(s.Children) > 0 && containsPeer(s.Children, h.Peer) {
+				note = fmt.Sprintf("  absorbed %d", h.Peer)
+			} else {
+				note = fmt.Sprintf("  combined into %d", h.Peer)
+			}
+		case reqtrace.HopDecombine:
+			mark = "+"
+			note = fmt.Sprintf("  decombine, peer %d", h.Peer)
+		}
+		if h.Q > 0 {
+			note += fmt.Sprintf("  q=%d", h.Q)
+		}
+		fmt.Fprintf(w, "%s  %7d %+6d  %-12s %-14s %s%s\n",
+			pad, h.Cycle, h.Cycle-prev, h.Kind, hopLoc(h), bar(h.Cycle, lo, hi, mark), note)
+		prev = h.Cycle
+	}
+	for _, c := range s.Children {
+		if child := byID[c]; child != nil && child.Parent == s.ID {
+			renderSpan(w, child, byID, depth+1, lo, hi, seen)
+		}
+	}
+}
+
+// bar places mark on the shared [lo, hi] time axis.
+func bar(cycle, lo, hi int64, mark string) string {
+	pos := 0
+	if hi > lo {
+		pos = int(float64(cycle-lo) / float64(hi-lo) * float64(spanBarWidth-1))
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > spanBarWidth-1 {
+		pos = spanBarWidth - 1
+	}
+	b := make([]byte, spanBarWidth)
+	for i := range b {
+		b[i] = '.'
+	}
+	out := "|" + string(b[:pos]) + mark + string(b[pos+1:]) + "|"
+	return out
+}
+
+// hopLoc names where in the machine a hop happened.
+func hopLoc(h reqtrace.Hop) string {
+	switch {
+	case h.Stage >= 0 && h.Copy >= 0:
+		return fmt.Sprintf("stage %d copy %d", h.Stage, h.Copy)
+	case h.Stage >= 0:
+		return fmt.Sprintf("stage %d", h.Stage)
+	case h.MM >= 0:
+		return fmt.Sprintf("mm %d", h.MM)
+	default:
+		return "pni"
+	}
+}
+
+func containsPeer(ids []uint64, id uint64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func indent(depth int) string {
+	const step = "    "
+	s := ""
+	for i := 0; i < depth; i++ {
+		s += step
+	}
+	return s
+}

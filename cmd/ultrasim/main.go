@@ -28,6 +28,7 @@ import (
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
 	"ultracomputer/internal/obs/live"
+	"ultracomputer/internal/obs/reqtrace"
 )
 
 func main() {
@@ -46,8 +47,11 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (open in Perfetto)")
 	metricsOut := flag.String("metrics", "", "write sampled per-stage metrics as JSONL to this file")
 	sampleEvery := flag.Int64("sample-every", 64, "network cycles between metrics samples")
-	serveAddr := flag.String("serve", "", "serve live telemetry on this address while the run executes (/metrics, /snapshot.json, /events, /healthz, /debug/pprof/)")
+	serveAddr := flag.String("serve", "", "serve live telemetry on this address while the run executes (/metrics, /snapshot.json, /events, /trace/flight, /healthz, /debug/pprof/)")
 	confThreshold := flag.Float64("conformance-threshold", 0, "measured/predicted round-trip drift ratio that raises the model-conformance alert (0 = default)")
+	reqRate := flag.Float64("reqtrace", 0, "fraction of memory requests to trace causally PE->switches->MM->PE (0 = off, 1 = all)")
+	spansOut := flag.String("spans", "", "write completed request-trace spans as JSONL to this file (implies -reqtrace 1 when the rate is unset)")
+	flightDir := flag.String("flight-dir", "", "directory for alert-triggered flight-recorder dumps, flight-<cycle>.jsonl (implies -reqtrace 1 when the rate is unset)")
 	engineFlag := flag.String("engine", "serial", "execution engine: serial or parallel (byte-identical outputs either way)")
 	workers := flag.Int("workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -109,6 +113,15 @@ func main() {
 		sampler = obs.NewSampler(*sampleEvery)
 		m.SetSampler(sampler)
 	}
+	var tracer *reqtrace.Tracer
+	if *reqRate > 0 || *spansOut != "" || *flightDir != "" {
+		r := *reqRate
+		if r == 0 {
+			r = 1
+		}
+		tracer = reqtrace.New(reqtrace.Config{Rate: r})
+		m.SetTracer(tracer)
+	}
 
 	// Live telemetry: the server runs beside the simulation; the only
 	// thing the sim loop does for it is publish copy-on-sample States via
@@ -118,10 +131,15 @@ func main() {
 	if *serveAddr != "" {
 		srv := live.NewServer()
 		var prevRep machine.Report
+		if tracer != nil {
+			srv.SetFlight(tracer)
+		}
 		feed = &live.Feed{
-			Server:   srv,
-			Monitor:  live.NewMonitor(live.ModelFor(cfg.Net, cfg.MMLatency, *confThreshold)),
-			Recorder: rec,
+			Server:    srv,
+			Monitor:   live.NewMonitor(live.ModelFor(cfg.Net, cfg.MMLatency, *confThreshold)),
+			Recorder:  rec,
+			Tracer:    tracer,
+			FlightDir: *flightDir,
 			Report: func() any {
 				cur := m.Report()
 				win := cur.Delta(prevRep)
@@ -175,6 +193,24 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d samples)\n", *metricsOut, len(sampler.Snapshots()))
 	}
+	if tracer != nil {
+		fmt.Printf("request tracing: %d spans completed, %d combine links, mean latency %.1f cycles\n",
+			tracer.Completed(), tracer.CombineLinks(), tracer.MeanLatency())
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Printf("  tracer dropped %d events (ring too small for the sampling rate)\n", d)
+		}
+		if *spansOut != "" {
+			if err := writeSpans(*spansOut, tracer); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (inspect with: tables -spans %s)\n", *spansOut, *spansOut)
+		}
+		if feed != nil {
+			for _, p := range feed.FlightDumps() {
+				fmt.Printf("flight recorder dumped %s\n", p)
+			}
+		}
+	}
 
 	if *dump != "" {
 		lo, hi, err := parseRange(*dump)
@@ -214,6 +250,18 @@ func writeTrace(path string, rec *obs.Recorder) error {
 		return err
 	}
 	if err := obs.WriteChromeTrace(f, rec.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeSpans(path string, tr *reqtrace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteSpansJSONL(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -24,6 +24,7 @@ import (
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
 	"ultracomputer/internal/obs/live"
+	"ultracomputer/internal/obs/reqtrace"
 	"ultracomputer/internal/pe"
 )
 
@@ -32,10 +33,15 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write sampled per-stage metrics of the combining run as JSONL to this file")
 	sampleEvery := flag.Int64("sample-every", 16, "network cycles between metrics samples")
 	serveAddr := flag.String("serve", "", "serve live telemetry for the combining run on this address")
+	reqRate := flag.Float64("reqtrace", 0, "fraction of memory requests to trace causally (0 = off, 1 = all)")
+	spansOut := flag.String("spans", "", "write request-trace spans of BOTH runs as JSONL: <file> for the combining run, <file>.plain for the uncombined control (implies -reqtrace 1 when the rate is unset)")
 	engineFlag := flag.String("engine", "serial", "execution engine: serial or parallel (byte-identical outputs either way)")
 	workers := flag.Int("workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *spansOut != "" && *reqRate == 0 {
+		*reqRate = 1
+	}
 	const rounds = 32
 	fmt.Println("64 PEs performing fetch-and-adds on ONE shared cell")
 	fmt.Printf("%-14s %12s %14s %12s %12s\n",
@@ -43,13 +49,21 @@ func main() {
 	eng, err := engine.New(*engineFlag, *workers)
 	check(err)
 	defer eng.Close()
-	run(eng, true, rounds, *traceOut, *metricsOut, *sampleEvery, *serveAddr)
-	run(eng, false, rounds, "", "", 0, "")
+	run(eng, true, rounds, *traceOut, *metricsOut, *sampleEvery, *serveAddr, *reqRate, *spansOut)
+	plainSpans := ""
+	if *spansOut != "" {
+		plainSpans = *spansOut + ".plain"
+	}
+	run(eng, false, rounds, "", "", 0, "", *reqRate, plainSpans)
 	fmt.Println("\ncombining turns a serial hot spot into logarithmic fan-in:")
 	fmt.Println("memory serves far fewer operations and latency stays flat.")
+	if *reqRate > 0 {
+		fmt.Println("the span genealogy shows the same story per request: combining runs")
+		fmt.Println("link spans into trees at the switches, uncombined runs never do.")
+	}
 }
 
-func run(eng engine.Engine, combining bool, rounds int, traceOut, metricsOut string, sampleEvery int64, serveAddr string) {
+func run(eng engine.Engine, combining bool, rounds int, traceOut, metricsOut string, sampleEvery int64, serveAddr string, reqRate float64, spansOut string) {
 	cfg := machine.Config{
 		Net:     network.Config{K: 2, Stages: 6, Combining: combining},
 		Hashing: true,
@@ -72,6 +86,11 @@ func run(eng engine.Engine, combining bool, rounds int, traceOut, metricsOut str
 		}
 		sampler = obs.NewSampler(sampleEvery)
 		m.SetSampler(sampler)
+	}
+	var tracer *reqtrace.Tracer
+	if reqRate > 0 {
+		tracer = reqtrace.New(reqtrace.Config{Rate: reqRate})
+		m.SetTracer(tracer)
 	}
 	var feed *live.Feed
 	if serveAddr != "" {
@@ -118,6 +137,17 @@ func run(eng engine.Engine, combining bool, rounds int, traceOut, metricsOut str
 		check(sampler.WriteJSONL(f))
 		check(f.Close())
 		fmt.Printf("wrote %s (%d samples)\n", metricsOut, len(sampler.Snapshots()))
+	}
+	if tracer != nil {
+		fmt.Printf("  traced %d spans, %d combine links, mean latency %.1f cycles\n",
+			tracer.Completed(), tracer.CombineLinks(), tracer.MeanLatency())
+		if spansOut != "" {
+			f, err := os.Create(spansOut)
+			check(err)
+			check(tracer.WriteSpansJSONL(f))
+			check(f.Close())
+			fmt.Printf("  wrote %s (inspect with: tables -spans %s)\n", spansOut, spansOut)
+		}
 	}
 }
 

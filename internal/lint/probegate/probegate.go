@@ -1,5 +1,5 @@
-// Package probegate defines an analyzer enforcing the observability
-// contract of internal/obs: a detached probe is a nil interface, and the
+// Package probegate defines analyzers enforcing nil-guard domination of
+// observability call sites: a detached probe or tracer is nil, and the
 // hot paths must pay only a nil check for it. Every call
 //
 //	p.Emit(ev)
@@ -10,11 +10,17 @@
 // same block. An unguarded Emit either panics when the probe is detached
 // or, worse, forces the caller to build the Event unconditionally,
 // breaking the zero-alloc guarantee the obs benchmarks pin down.
+//
+// The guard walker is parameterized by a Rule so sibling analyzers can
+// enforce the same domination property for other hot-path attachment
+// points; tracegate (internal/lint/tracegate) instantiates it for the
+// request tracer's sampling entry points.
 package probegate
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"ultracomputer/internal/lint/analysis"
 )
@@ -25,35 +31,67 @@ const (
 	probeName = "Probe"
 )
 
-// Analyzer is the probegate pass.
-var Analyzer = &analysis.Analyzer{
-	Name: "probegate",
-	Doc:  "require every obs.Probe Emit call site to be guarded by a nil check of the probe",
-	Run:  run,
+// Rule parameterizes the nil-guard walker: which receiver types and
+// method names must be dominated by a nil check, which packages are
+// exempt (typically the package implementing the guarded type, whose
+// methods run with a known-non-nil receiver), and the diagnostic text
+// (one %s verb for the receiver expression).
+type Rule struct {
+	// Methods is the set of method names whose calls are checked.
+	Methods map[string]bool
+	// IsTarget reports whether the receiver's static type is guarded.
+	IsTarget func(types.Type) bool
+	// SkipPkg, when non-nil, exempts whole packages by import path.
+	SkipPkg func(path string) bool
+	// Message is the diagnostic format; it receives the receiver
+	// expression's source text.
+	Message string
 }
 
-func run(pass *analysis.Pass) (interface{}, error) {
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+// NewAnalyzer builds a nil-guard-domination analyzer from a rule.
+func NewAnalyzer(name, doc string, rule Rule) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: name,
+		Doc:  doc,
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			if rule.SkipPkg != nil && pass.Pkg != nil && rule.SkipPkg(pass.Pkg.Path()) {
+				return nil, nil
 			}
-			checkBlock(pass, fd.Body.List, map[string]bool{})
-		}
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					checkBlock(pass, &rule, fd.Body.List, map[string]bool{})
+				}
+			}
+			return nil, nil
+		},
 	}
-	return nil, nil
 }
+
+// Analyzer is the probegate pass.
+var Analyzer = NewAnalyzer(
+	"probegate",
+	"require every obs.Probe Emit call site to be guarded by a nil check of the probe",
+	Rule{
+		Methods:  map[string]bool{"Emit": true},
+		IsTarget: isProbe,
+		Message: "obs.Probe Emit on %s without a dominating nil check: a detached probe is nil, " +
+			"and the zero-alloc contract requires guarding before building the event",
+	},
+)
 
 // checkBlock walks one statement list in order, threading the set of
-// probe expressions (rendered as source text) known to be non-nil.
-func checkBlock(pass *analysis.Pass, stmts []ast.Stmt, guarded map[string]bool) {
+// guarded expressions (rendered as source text) known to be non-nil.
+func checkBlock(pass *analysis.Pass, rule *Rule, stmts []ast.Stmt, guarded map[string]bool) {
 	for _, s := range stmts {
-		checkStmt(pass, s, guarded)
+		checkStmt(pass, rule, s, guarded)
 		// An early return on nil (`if p == nil { return }`) guards the
 		// rest of the block.
 		if ifs, ok := s.(*ast.IfStmt); ok && ifs.Else == nil && terminates(ifs.Body) {
-			if expr := nilCheckedProbe(pass, ifs.Cond, true); expr != "" {
+			if expr := nilCheckedTarget(pass, rule, ifs.Cond, true); expr != "" {
 				guarded = withGuard(guarded, expr)
 			}
 		}
@@ -62,76 +100,76 @@ func checkBlock(pass *analysis.Pass, stmts []ast.Stmt, guarded map[string]bool) 
 
 // checkStmt dispatches one statement, recursing into nested blocks with
 // the appropriate guard set.
-func checkStmt(pass *analysis.Pass, s ast.Stmt, guarded map[string]bool) {
+func checkStmt(pass *analysis.Pass, rule *Rule, s ast.Stmt, guarded map[string]bool) {
 	switch s := s.(type) {
 	case nil:
 	case *ast.IfStmt:
 		if s.Init != nil {
-			checkStmt(pass, s.Init, guarded)
+			checkStmt(pass, rule, s.Init, guarded)
 		}
-		checkExpr(pass, s.Cond, guarded)
+		checkExpr(pass, rule, s.Cond, guarded)
 		thenGuards := guarded
-		if expr := nilCheckedProbe(pass, s.Cond, false); expr != "" {
+		if expr := nilCheckedTarget(pass, rule, s.Cond, false); expr != "" {
 			thenGuards = withGuard(guarded, expr)
 		}
-		checkBlock(pass, s.Body.List, thenGuards)
+		checkBlock(pass, rule, s.Body.List, thenGuards)
 		if s.Else != nil {
 			elseGuards := guarded
-			if expr := nilCheckedProbe(pass, s.Cond, true); expr != "" {
+			if expr := nilCheckedTarget(pass, rule, s.Cond, true); expr != "" {
 				elseGuards = withGuard(guarded, expr)
 			}
-			checkStmt(pass, s.Else, elseGuards)
+			checkStmt(pass, rule, s.Else, elseGuards)
 		}
 	case *ast.BlockStmt:
-		checkBlock(pass, s.List, guarded)
+		checkBlock(pass, rule, s.List, guarded)
 	case *ast.ForStmt:
 		if s.Init != nil {
-			checkStmt(pass, s.Init, guarded)
+			checkStmt(pass, rule, s.Init, guarded)
 		}
 		if s.Cond != nil {
-			checkExpr(pass, s.Cond, guarded)
+			checkExpr(pass, rule, s.Cond, guarded)
 		}
 		if s.Post != nil {
-			checkStmt(pass, s.Post, guarded)
+			checkStmt(pass, rule, s.Post, guarded)
 		}
-		checkBlock(pass, s.Body.List, guarded)
+		checkBlock(pass, rule, s.Body.List, guarded)
 	case *ast.RangeStmt:
-		checkExpr(pass, s.X, guarded)
-		checkBlock(pass, s.Body.List, guarded)
+		checkExpr(pass, rule, s.X, guarded)
+		checkBlock(pass, rule, s.Body.List, guarded)
 	case *ast.SwitchStmt:
 		if s.Init != nil {
-			checkStmt(pass, s.Init, guarded)
+			checkStmt(pass, rule, s.Init, guarded)
 		}
 		if s.Tag != nil {
-			checkExpr(pass, s.Tag, guarded)
+			checkExpr(pass, rule, s.Tag, guarded)
 		}
 		for _, c := range s.Body.List {
 			cc := c.(*ast.CaseClause)
 			for _, e := range cc.List {
-				checkExpr(pass, e, guarded)
+				checkExpr(pass, rule, e, guarded)
 			}
-			checkBlock(pass, cc.Body, guarded)
+			checkBlock(pass, rule, cc.Body, guarded)
 		}
 	case *ast.TypeSwitchStmt:
 		for _, c := range s.Body.List {
-			checkBlock(pass, c.(*ast.CaseClause).Body, guarded)
+			checkBlock(pass, rule, c.(*ast.CaseClause).Body, guarded)
 		}
 	case *ast.SelectStmt:
 		for _, c := range s.Body.List {
-			checkBlock(pass, c.(*ast.CommClause).Body, guarded)
+			checkBlock(pass, rule, c.(*ast.CommClause).Body, guarded)
 		}
 	case *ast.LabeledStmt:
-		checkStmt(pass, s.Stmt, guarded)
+		checkStmt(pass, rule, s.Stmt, guarded)
 	default:
-		// Leaf statements: scan contained expressions for Emit calls
+		// Leaf statements: scan contained expressions for guarded calls
 		// (and nested function literals, which start unguarded).
 		ast.Inspect(s, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncLit:
-				checkBlock(pass, n.Body.List, map[string]bool{})
+				checkBlock(pass, rule, n.Body.List, map[string]bool{})
 				return false
 			case *ast.CallExpr:
-				reportUnguardedEmit(pass, n, guarded)
+				reportUnguardedCall(pass, rule, n, guarded)
 			}
 			return true
 		})
@@ -139,53 +177,51 @@ func checkStmt(pass *analysis.Pass, s ast.Stmt, guarded map[string]bool) {
 }
 
 // checkExpr scans a non-statement expression (conditions, range
-// operands) for Emit calls and function literals.
-func checkExpr(pass *analysis.Pass, e ast.Expr, guarded map[string]bool) {
+// operands) for guarded calls and function literals.
+func checkExpr(pass *analysis.Pass, rule *Rule, e ast.Expr, guarded map[string]bool) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			checkBlock(pass, n.Body.List, map[string]bool{})
+			checkBlock(pass, rule, n.Body.List, map[string]bool{})
 			return false
 		case *ast.CallExpr:
-			reportUnguardedEmit(pass, n, guarded)
+			reportUnguardedCall(pass, rule, n, guarded)
 		}
 		return true
 	})
 }
 
-// reportUnguardedEmit flags call if it is probe.Emit(...) on an
-// unguarded obs.Probe expression.
-func reportUnguardedEmit(pass *analysis.Pass, call *ast.CallExpr, guarded map[string]bool) {
+// reportUnguardedCall flags call if it invokes one of the rule's methods
+// on an unguarded target expression.
+func reportUnguardedCall(pass *analysis.Pass, rule *Rule, call *ast.CallExpr, guarded map[string]bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Emit" {
+	if !ok || !rule.Methods[sel.Sel.Name] {
 		return
 	}
 	tv, ok := pass.TypesInfo.Types[sel.X]
-	if !ok || !isProbe(tv.Type) {
+	if !ok || !rule.IsTarget(tv.Type) {
 		return
 	}
 	expr := types.ExprString(sel.X)
 	if guarded[expr] {
 		return
 	}
-	pass.Reportf(call.Pos(),
-		"obs.Probe Emit on %s without a dominating nil check: a detached probe is nil, "+
-			"and the zero-alloc contract requires guarding before building the event", expr)
+	pass.Reportf(call.Pos(), rule.Message, expr)
 }
 
-// nilCheckedProbe reports the probe expression a condition proves
+// nilCheckedTarget reports the target expression a condition proves
 // non-nil. With wantNil false it matches `x != nil` (possibly a && ...
 // conjunct); with wantNil true it matches a bare `x == nil`.
-func nilCheckedProbe(pass *analysis.Pass, cond ast.Expr, wantNil bool) string {
+func nilCheckedTarget(pass *analysis.Pass, rule *Rule, cond ast.Expr, wantNil bool) string {
 	switch c := cond.(type) {
 	case *ast.ParenExpr:
-		return nilCheckedProbe(pass, c.X, wantNil)
+		return nilCheckedTarget(pass, rule, c.X, wantNil)
 	case *ast.BinaryExpr:
 		if !wantNil && c.Op.String() == "&&" {
-			if e := nilCheckedProbe(pass, c.X, false); e != "" {
+			if e := nilCheckedTarget(pass, rule, c.X, false); e != "" {
 				return e
 			}
-			return nilCheckedProbe(pass, c.Y, false)
+			return nilCheckedTarget(pass, rule, c.Y, false)
 		}
 		wantOp := "!="
 		if wantNil {
@@ -202,7 +238,7 @@ func nilCheckedProbe(pass *analysis.Pass, cond ast.Expr, wantNil bool) string {
 			return ""
 		}
 		tv, ok := pass.TypesInfo.Types[x]
-		if !ok || !isProbe(tv.Type) {
+		if !ok || !rule.IsTarget(tv.Type) {
 			return ""
 		}
 		return types.ExprString(x)
@@ -217,13 +253,34 @@ func isNilIdent(e ast.Expr) bool {
 
 // isProbe reports whether t is the obs.Probe interface type.
 func isProbe(t types.Type) bool {
+	return isNamed(t, probePath, probeName)
+}
+
+// isNamed reports whether t (or the type a pointer t points to) is the
+// named type path.name. Shared with sibling guard analyzers.
+func isNamed(t types.Type, path, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
 	named, ok := t.(*types.Named)
 	if !ok {
 		return false
 	}
 	obj := named.Obj()
-	return obj != nil && obj.Name() == probeName &&
-		obj.Pkg() != nil && obj.Pkg().Path() == probePath
+	return obj != nil && obj.Name() == name &&
+		obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// IsNamedType is isNamed exported for sibling analyzers built on
+// NewAnalyzer (pointer indirection is stripped before matching).
+func IsNamedType(t types.Type, path, name string) bool { return isNamed(t, path, name) }
+
+// HasPathSuffix reports whether pkg path ends in suffix at a path
+// boundary — the usual way a SkipPkg exempts the implementing package
+// and its tests.
+func HasPathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix) ||
+		strings.HasPrefix(path, suffix+".")
 }
 
 // terminates reports whether a block always transfers control out

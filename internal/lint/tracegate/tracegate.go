@@ -1,0 +1,54 @@
+// Package tracegate instantiates the probegate nil-guard walker for the
+// request tracer's sampling entry points. Request tracing
+// (internal/obs/reqtrace) is off by default — a detached tracer is a nil
+// *reqtrace.Tracer or nil pe.TraceSampler — and the zero-overhead
+// contract says an untraced run pays exactly one nil check per
+// potential sampling site. Every call
+//
+//	t.ContextFor(id)
+//	t.Emit(ev)
+//
+// on a value of either static type must therefore be dominated by a nil
+// check of the same expression, the same property probegate enforces
+// for obs.Probe Emit sites.
+package tracegate
+
+import (
+	"go/types"
+
+	"ultracomputer/internal/lint/analysis"
+	"ultracomputer/internal/lint/probegate"
+)
+
+// The guarded types: the concrete tracer and the sampling interface the
+// PNI holds it through.
+const (
+	tracerPath  = "ultracomputer/internal/obs/reqtrace"
+	tracerName  = "Tracer"
+	samplerPath = "ultracomputer/internal/pe"
+	samplerName = "TraceSampler"
+)
+
+// Analyzer is the tracegate pass.
+var Analyzer *analysis.Analyzer = probegate.NewAnalyzer(
+	"tracegate",
+	"require every reqtrace sampling call site (ContextFor, Emit) to be guarded by a nil check of the tracer",
+	probegate.Rule{
+		Methods:  map[string]bool{"ContextFor": true, "Emit": true},
+		IsTarget: isTracer,
+		// The tracer's own methods run with a receiver the caller already
+		// checked; exempt the implementing package.
+		SkipPkg: func(path string) bool {
+			return probegate.HasPathSuffix(path, "internal/obs/reqtrace")
+		},
+		Message: "reqtrace sampling call on %s without a dominating nil check: " +
+			"tracing is off by default (nil tracer) and an untraced run must pay only the check",
+	},
+)
+
+// isTracer reports whether t is *reqtrace.Tracer (or the named type
+// itself) or the pe.TraceSampler interface.
+func isTracer(t types.Type) bool {
+	return probegate.IsNamedType(t, tracerPath, tracerName) ||
+		probegate.IsNamedType(t, samplerPath, samplerName)
+}

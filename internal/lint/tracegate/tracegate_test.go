@@ -1,0 +1,12 @@
+package tracegate_test
+
+import (
+	"testing"
+
+	"ultracomputer/internal/lint/analysis/analysistest"
+	"ultracomputer/internal/lint/tracegate"
+)
+
+func TestTracegate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), tracegate.Analyzer, "tracegate")
+}

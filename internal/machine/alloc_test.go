@@ -5,6 +5,7 @@ import (
 
 	"ultracomputer/internal/isa"
 	"ultracomputer/internal/network"
+	"ultracomputer/internal/obs/reqtrace"
 	"ultracomputer/internal/pe"
 )
 
@@ -43,5 +44,41 @@ loop:   faa  r3, 0(r1), r2
 
 	if avg := testing.AllocsPerRun(500, m.Step); avg != 0 {
 		t.Fatalf("Machine.Step allocates %.2f times per cycle in steady state, want 0", avg)
+	}
+}
+
+// TestStepZeroAllocTracerDisabled pins the request tracer's
+// zero-overhead-when-off guarantee: a tracer attached at sampling rate 0
+// stamps no requests, so every hop-record site falls through its
+// nil-context fast path (one integer compare) and Step stays
+// allocation-free — the tracegate analyzer is the static half of this
+// contract.
+func TestStepZeroAllocTracerDisabled(t *testing.T) {
+	prog := isa.MustAssemble(`
+        li   r1, 100
+        li   r2, 1
+loop:   faa  r3, 0(r1), r2
+        add  r4, r4, r3
+        jmp  loop
+`)
+	const n = 8
+	cores := make([]pe.Core, n)
+	for i := range cores {
+		cores[i] = isa.NewCore(prog, 64)
+	}
+	cfg := Config{
+		Net:     network.Config{K: 2, Stages: 4, Combining: true},
+		Hashing: true,
+		PEs:     n,
+	}
+	m := New(cfg, cores)
+	m.SetTracer(reqtrace.New(reqtrace.Config{Rate: 0}))
+
+	for i := 0; i < 2000; i++ {
+		m.Step()
+	}
+
+	if avg := testing.AllocsPerRun(500, m.Step); avg != 0 {
+		t.Fatalf("Machine.Step with a rate-0 tracer allocates %.2f times per cycle, want 0", avg)
 	}
 }

@@ -11,17 +11,21 @@ import (
 	"ultracomputer/internal/isa"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
+	"ultracomputer/internal/obs/reqtrace"
 	"ultracomputer/internal/pe"
 )
 
 // artifact captures every observable output of a run: the Chrome trace
-// bytes, the sampled metrics JSONL bytes, the JSON report, and final
-// shared memory / register state. Engine equivalence means all of them
-// match byte for byte.
+// bytes, the sampled metrics JSONL bytes, the JSON report, the request
+// tracer's span and flight-recorder JSONL, and final shared memory /
+// register state. Engine equivalence means all of them match byte for
+// byte.
 type artifact struct {
 	trace   []byte
 	metrics []byte
 	report  []byte
+	spans   []byte
+	flight  []byte
 	state   []byte
 }
 
@@ -38,6 +42,11 @@ func runArtifact(t *testing.T, mk func() (*Machine, func(m *Machine) string), en
 	m.SetProbe(rec)
 	sampler := obs.NewSampler(16)
 	m.SetSampler(sampler)
+	// Sample at 0.6 so both branches of every hop-record site run (some
+	// requests traced, some not) and mid-flight adoption triggers when a
+	// traced request combines with an untraced one.
+	tr := reqtrace.New(reqtrace.Config{Rate: 0.6, Seed: 11, Ring: 1 << 14})
+	m.SetTracer(tr)
 	m.MustRun(5_000_000)
 
 	var a artifact
@@ -56,6 +65,15 @@ func runArtifact(t *testing.T, mk func() (*Machine, func(m *Machine) string), en
 		t.Fatalf("report marshal: %v", err)
 	}
 	a.report = rep
+	var sb, fb bytes.Buffer
+	if err := tr.WriteSpansJSONL(&sb); err != nil {
+		t.Fatalf("span export: %v", err)
+	}
+	a.spans = sb.Bytes()
+	if err := tr.WriteFlightJSONL(&fb); err != nil {
+		t.Fatalf("flight export: %v", err)
+	}
+	a.flight = fb.Bytes()
 	a.state = []byte(finalState(m))
 	return a
 }
@@ -197,6 +215,8 @@ func diffArtifact(t *testing.T, workers int, want, got artifact) {
 	}
 	cmp("trace", want.trace, got.trace)
 	cmp("metrics", want.metrics, got.metrics)
+	cmp("spans", want.spans, got.spans)
+	cmp("flight", want.flight, got.flight)
 	cmp("report", want.report, got.report)
 	cmp("final state", want.state, got.state)
 }

@@ -14,6 +14,7 @@ import (
 	"ultracomputer/internal/msg"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
+	"ultracomputer/internal/obs/reqtrace"
 	"ultracomputer/internal/pe"
 )
 
@@ -74,6 +75,7 @@ type Machine struct {
 
 	sampler *obs.Sampler
 	probe   obs.Probe
+	tracer  *reqtrace.Tracer
 
 	// eng is the execution engine driving Step (default Serial); the
 	// stepper materializes lazily on the first Step so probes and
@@ -162,7 +164,7 @@ func (m *Machine) applyIdeal(peID int, r msg.Request) {
 	mod.Served.Inc()
 	m.idealPending = append(m.idealPending, idealReply{
 		pe:  peID,
-		rep: msg.Reply{ID: r.ID, PE: r.PE, Op: r.Op, Addr: r.Addr, Value: ret},
+		rep: msg.Reply{ID: r.ID, PE: r.PE, Op: r.Op, Addr: r.Addr, Value: ret, TC: r.TC},
 	})
 }
 
@@ -200,6 +202,32 @@ func (m *Machine) SetProbe(p obs.Probe) {
 	}
 }
 
+// SetTracer attaches a request tracer to every layer of the machine:
+// the PEs' PNIs stamp sampled requests with a trace context at issue,
+// and the network switches and memory modules record per-hop events on
+// the tracer's dedicated stream. Call before the first Step; nil (the
+// default) detaches. Under IdealMemory the trace context propagates
+// into replies but no network hops exist, so spans stay empty.
+func (m *Machine) SetTracer(t *reqtrace.Tracer) {
+	m.tracer = t
+	// Interface values must be built from a checked pointer: assigning a
+	// nil *Tracer directly would produce a non-nil interface.
+	var p obs.Probe
+	var s pe.TraceSampler
+	if t != nil {
+		p = t
+		s = t
+	}
+	m.net.SetTracer(p)
+	m.bank.SetTracer(p)
+	for _, pp := range m.pes {
+		pp.SetTracer(s)
+	}
+}
+
+// Tracer returns the attached request tracer, or nil.
+func (m *Machine) Tracer() *reqtrace.Tracer { return m.tracer }
+
 // SetEngine selects the execution engine driving Step: nil or
 // engine.Serial for the in-line reference behavior, engine.NewParallel
 // to shard each phase across a worker pool. Call before the first
@@ -231,6 +259,14 @@ func (m *Machine) ensureStepper() {
 			}
 			for mm, mod := range m.bank.Modules {
 				mod.SetProbe(m.stepper.MMProbe(mm))
+			}
+		}
+		if m.tracer != nil {
+			// The PNI-side sampler stays the tracer itself (ContextFor is
+			// a pure hash, safe from any worker); only the modules' emit
+			// stream is rerouted into per-MM buffers.
+			for mm, mod := range m.bank.Modules {
+				mod.SetTracer(m.stepper.MMTrace(mm))
 			}
 		}
 		if m.cfg.IdealMemory {

@@ -43,10 +43,17 @@ type Module struct {
 	Served sim.Counter
 
 	probe obs.Probe
+	// trace is the request-tracing stream (internal/obs/reqtrace): MNI
+	// events of traced requests only, kept separate from the main probe
+	// so sampled tracing never requires full event recording.
+	trace obs.Probe
 }
 
 // SetProbe attaches an event probe (nil detaches; the default).
 func (m *Module) SetProbe(p obs.Probe) { m.probe = p }
+
+// SetTracer attaches the request-tracing stream (nil detaches).
+func (m *Module) SetTracer(p obs.Probe) { m.trace = p }
 
 // emitBegin records the start of one MNI service.
 func (m *Module) emitBegin(r msg.Request, cycle int64) {
@@ -95,6 +102,12 @@ func (m *Module) Accept(r msg.Request, cycle int64) {
 	if m.probe != nil {
 		m.emitBegin(r, cycle)
 	}
+	if m.trace != nil && r.TC.ID != 0 {
+		m.trace.Emit(obs.Event{
+			Cycle: cycle, Kind: obs.KindMNIBegin, PE: r.PE, Stage: -1,
+			MM: m.id, Copy: -1, ID: r.ID, Op: r.Op, Addr: r.Addr,
+		})
+	}
 }
 
 // Step advances the module one cycle against its network port: it first
@@ -104,6 +117,13 @@ func (m *Module) Accept(r msg.Request, cycle int64) {
 func (m *Module) Step(cycle int64, port Port) {
 	if m.pending != nil {
 		if port.Reply(*m.pending) {
+			if m.trace != nil && m.pending.TC.ID != 0 {
+				m.trace.Emit(obs.Event{
+					Cycle: cycle, Kind: obs.KindReplyHop, PE: m.pending.PE,
+					Stage: -1, MM: m.id, Copy: -1, ID: m.pending.ID,
+					Op: m.pending.Op, Addr: m.pending.Addr,
+				})
+			}
 			m.pending = nil
 		} else {
 			return
@@ -129,10 +149,23 @@ func (m *Module) Step(cycle int64, port Port) {
 				Value: ret,
 			})
 		}
-		rep := msg.Reply{ID: r.ID, PE: r.PE, Op: r.Op, Addr: r.Addr, Value: ret}
+		if m.trace != nil && r.TC.ID != 0 {
+			m.trace.Emit(obs.Event{
+				Cycle: cycle, Kind: obs.KindMNIServe, PE: r.PE, Stage: -1,
+				MM: m.id, Copy: -1, ID: r.ID, Op: r.Op, Addr: r.Addr,
+				Value: ret,
+			})
+		}
+		rep := msg.Reply{ID: r.ID, PE: r.PE, Op: r.Op, Addr: r.Addr, Value: ret, TC: r.TC}
 		if !port.Reply(rep) {
 			m.pending = &rep
 			return
+		}
+		if m.trace != nil && rep.TC.ID != 0 {
+			m.trace.Emit(obs.Event{
+				Cycle: cycle, Kind: obs.KindReplyHop, PE: rep.PE, Stage: -1,
+				MM: m.id, Copy: -1, ID: rep.ID, Op: rep.Op, Addr: rep.Addr,
+			})
 		}
 	}
 	if !m.busy && m.pending == nil {
@@ -142,6 +175,12 @@ func (m *Module) Step(cycle int64, port Port) {
 			m.busyUntil = cycle + m.latency
 			if m.probe != nil {
 				m.emitBegin(r, cycle)
+			}
+			if m.trace != nil && r.TC.ID != 0 {
+				m.trace.Emit(obs.Event{
+					Cycle: cycle, Kind: obs.KindMNIBegin, PE: r.PE, Stage: -1,
+					MM: m.id, Copy: -1, ID: r.ID, Op: r.Op, Addr: r.Addr,
+				})
 			}
 		}
 	}
@@ -189,6 +228,13 @@ func (b *Bank) TotalServed() int64 {
 func (b *Bank) SetProbe(p obs.Probe) {
 	for _, m := range b.Modules {
 		m.SetProbe(p)
+	}
+}
+
+// SetTracer attaches the request-tracing stream to every module.
+func (b *Bank) SetTracer(p obs.Probe) {
+	for _, m := range b.Modules {
+		m.SetTracer(p)
 	}
 }
 

@@ -49,6 +49,7 @@ func (o Op) String() string {
 	if int(o) < len(opNames) {
 		return opNames[o]
 	}
+	//ultravet:ok hotalloc invalid-op fallback; every valid op returns a constant name above
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
 
@@ -77,6 +78,27 @@ const (
 	PacketsWithoutData = 1
 )
 
+// TraceCtx is the compact causal-tracing context a sampled request
+// carries from PE issue through every switch stage to the memory module
+// and back (internal/obs/reqtrace). A zero context marks an untraced
+// request, so every hop-record site pays one integer compare when
+// tracing is off. ID is the span identifier (the request's own network
+// ID for spans opened at issue; a request adopted mid-flight when a
+// traced partner combines into it uses its own ID too), and Hops counts
+// the forward hops recorded so far — the hop-vector length, used by the
+// span assembler as a path-depth cross-check.
+//
+// The context is modeled as out-of-band metadata (the hardware would
+// widen the D-bit amalgam by a few tag bits); it does not contribute to
+// Packets.
+type TraceCtx struct {
+	ID   uint64
+	Hops uint8
+}
+
+// Traced reports whether the carrier is a sampled request.
+func (t TraceCtx) Traced() bool { return t.ID != 0 }
+
 // Request is a PE-to-MM message. The paper transmits only a D-bit amalgam
 // of origin and destination (each stage-j switch overwrites destination
 // bit m_j with origin bit p_j); we carry both PE and Addr explicitly and
@@ -88,6 +110,8 @@ type Request struct {
 	Addr    Addr
 	Operand int64 // store datum or fetch-and-phi operand
 	Issued  int64 // cycle the PNI injected the request (latency accounting)
+	// TC is the causal-tracing context; zero for untraced requests.
+	TC TraceCtx
 }
 
 // Packets reports the request's length in network packets.
@@ -110,6 +134,9 @@ type Reply struct {
 	Op    Op
 	Addr  Addr
 	Value int64 // the fetched (old) value; undefined for Store
+	// TC is the causal-tracing context carried back from the request;
+	// replies synthesized by decombining carry the side's own context.
+	TC TraceCtx
 }
 
 // Packets reports the reply's length in network packets. Store

@@ -109,6 +109,11 @@ type Network struct {
 	dead     []bool // fail-stopped copies (no new requests)
 	stats    Stats
 	probe    obs.Probe
+	// trace is the request-tracing stream (a reqtrace.Tracer): a second,
+	// independent probe receiving only the hop events of requests whose
+	// TraceCtx is non-zero. Kept separate from probe so sampled tracing
+	// can run without full event recording.
+	trace obs.Probe
 
 	// collectBuf is the per-PE reply scratch reused by Collect every
 	// cycle (shard-owned: the collect phase is sharded by PE). The
@@ -131,6 +136,17 @@ func (n *Network) SetProbe(p obs.Probe) {
 	n.probe = p
 	for i, c := range n.copies {
 		c.probe = p
+		c.copyIdx = i
+	}
+}
+
+// SetTracer attaches the request-tracing stream (a reqtrace.Tracer) to
+// the network and all its copies; nil detaches it. Hop-record sites emit
+// on it only for requests carrying a non-zero TraceCtx.
+func (n *Network) SetTracer(p obs.Probe) {
+	n.trace = p
+	for i, c := range n.copies {
+		c.trace = p
 		c.copyIdx = i
 	}
 }
@@ -205,7 +221,7 @@ func (n *Network) Stats() *Stats { return &n.stats }
 // (the PE must retry next cycle). r.PE must equal pe: the reply path and
 // the in-flight bookkeeping are both keyed by the request's PE field.
 func (n *Network) Inject(pe int, r msg.Request, cycle int64) bool {
-	if n.injectInto(pe, r, cycle, n.probe) {
+	if n.injectInto(pe, r, cycle, n.probe, n.trace) {
 		n.stats.Injected.Inc()
 		return true
 	}
@@ -216,7 +232,9 @@ func (n *Network) Inject(pe int, r msg.Request, cycle int64) bool {
 // caller's sink: the shared stats/probe on the serial path, per-PE
 // scratch under the parallel engine (the tick phase is sharded by PE,
 // so per-worker scratch is not addressable from an inject closure).
-func (n *Network) injectInto(pe int, r msg.Request, cycle int64, pr obs.Probe) bool {
+// tr is the per-caller trace stream, receiving the span-opening Inject
+// event for traced requests.
+func (n *Network) injectInto(pe int, r msg.Request, cycle int64, pr, tr obs.Probe) bool {
 	if pe < 0 || pe >= n.Ports() {
 		panic(fmt.Sprintf("network: Inject at PE %d of %d", pe, n.Ports()))
 	}
@@ -236,6 +254,13 @@ func (n *Network) injectInto(pe int, r msg.Request, cycle int64, pr obs.Probe) b
 			n.inflight[pe][r.ID] = inflightReq{copy: ci, issued: cycle}
 			if pr != nil {
 				pr.Emit(obs.Event{
+					Cycle: cycle, Kind: obs.KindInject, PE: pe, Stage: -1,
+					MM: r.Addr.MM, Copy: ci, ID: r.ID, Op: r.Op, Addr: r.Addr,
+					Value: r.Operand,
+				})
+			}
+			if tr != nil && r.TC.ID != 0 {
+				tr.Emit(obs.Event{
 					Cycle: cycle, Kind: obs.KindInject, PE: pe, Stage: -1,
 					MM: r.Addr.MM, Copy: ci, ID: r.ID, Op: r.Op, Addr: r.Addr,
 					Value: r.Operand,
@@ -295,7 +320,7 @@ func (n *Network) MMReply(mm int, rep msg.Reply) bool {
 // round-trip latencies. The returned slice aliases per-PE scratch and
 // is only valid until pe's next Collect.
 func (n *Network) Collect(pe int, cycle int64) []msg.Reply {
-	return n.collectInto(pe, cycle, n.onCollect, n.probe)
+	return n.collectInto(pe, cycle, n.onCollect, n.probe, n.trace)
 }
 
 // collectInto is Collect with the latency observation and event
@@ -305,7 +330,7 @@ func (n *Network) Collect(pe int, cycle int64) []msg.Reply {
 // dependent update, so the float observation order must match the
 // serial engine's exactly. onReply is called once per reply; known is
 // false for replies with no in-flight record (hand-injected in tests).
-func (n *Network) collectInto(pe int, cycle int64, onReply func(lat int64, known bool), pr obs.Probe) []msg.Reply {
+func (n *Network) collectInto(pe int, cycle int64, onReply func(lat int64, known bool), pr, tr obs.Probe) []msg.Reply {
 	out := n.collectBuf[pe][:0]
 	for _, c := range n.copies {
 		if len(c.peRecv[pe]) > 0 {
@@ -324,6 +349,15 @@ func (n *Network) collectInto(pe int, cycle int64, onReply func(lat int64, known
 		onReply(cycle-fl.issued, ok)
 		if pr != nil {
 			pr.Emit(obs.Event{
+				Cycle: cycle, Kind: obs.KindReplyDeliver, PE: pe, Stage: -1,
+				MM: -1, Copy: -1, ID: rep.ID, Op: rep.Op, Addr: rep.Addr,
+				Value: rep.Value,
+			})
+		}
+		if tr != nil && rep.TC.ID != 0 {
+			// Span completion: the tracer closes the span and files it
+			// in the flight recorder.
+			tr.Emit(obs.Event{
 				Cycle: cycle, Kind: obs.KindReplyDeliver, PE: pe, Stage: -1,
 				MM: -1, Copy: -1, ID: rep.ID, Op: rep.Op, Addr: rep.Addr,
 				Value: rep.Value,

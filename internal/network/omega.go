@@ -58,6 +58,7 @@ type copyNet struct {
 
 	stats   *Stats
 	probe   obs.Probe
+	trace   obs.Probe // request-tracing stream (reqtrace.Tracer); nil when off
 	copyIdx int
 }
 
@@ -103,12 +104,18 @@ func (c *copyNet) line(sw, port int) int { return sw*c.topo.k + port }
 
 // sink directs one execution unit's observability output. The legacy
 // serial Step and the Stepper's serial engine point it at the shared
-// Stats and the real probe; the parallel engine points it at per-worker
-// scratch counters and a per-unit event buffer, merged in deterministic
-// unit order after each phase (see Stepper).
+// Stats and the real probe/tracer; the parallel engine points it at
+// per-worker scratch counters and per-unit event buffers, merged in
+// deterministic unit order after each phase (see Stepper). The trace
+// stream is separate from the probe so hop recording for sampled
+// requests can run without paying for full event recording: a site
+// emits on it only when the carrier's TraceCtx is non-zero, so with
+// tracing attached but a request unsampled the cost is one nil check
+// plus one integer compare.
 type sink struct {
 	stats *Stats
 	probe obs.Probe
+	trace obs.Probe
 }
 
 // enqueueForward routes a request into the ToMM queue of stage s selected
@@ -125,11 +132,34 @@ func (c *copyNet) enqueueForward(s, sw int, r msg.Request, cycle int64, sk *sink
 				old := q.entries[i].req
 				fop, farg, aPlan, bPlan, ok := msg.Combine(old.Op, old.Operand, r.Op, r.Operand)
 				if ok && q.updateCombined(i, fop, farg) {
+					aTC, bTC := old.TC, r.TC
+					if sk.trace != nil && (aTC.ID != 0 || bTC.ID != 0) {
+						// Record genealogy completely: a combine
+						// touching any traced request adopts the
+						// untraced partner mid-flight, so the tree a
+						// sampled request joins is whole. The queued
+						// survivor's context is stamped onto its
+						// entry so the combined request's onward hops
+						// are recorded too.
+						if aTC.ID == 0 {
+							aTC = msg.TraceCtx{ID: old.ID, Hops: r.TC.Hops}
+						}
+						if bTC.ID == 0 {
+							bTC = msg.TraceCtx{ID: r.ID, Hops: old.TC.Hops}
+						}
+						q.setTC(i, aTC)
+						sk.trace.Emit(obs.Event{
+							Cycle: cycle, Kind: obs.KindCombine, PE: r.PE,
+							Stage: s, MM: -1, Copy: c.copyIdx,
+							ID: r.ID, ID2: old.ID, Op: r.Op, Addr: r.Addr,
+							Value: int64(old.PE),
+						})
+					}
 					w.add(waitRec{
 						key:  old.ID,
 						addr: old.Addr,
-						a:    side{old.ID, old.PE, old.Op, aPlan},
-						b:    side{r.ID, r.PE, r.Op, bPlan},
+						a:    side{id: old.ID, pe: old.PE, op: old.Op, plan: aPlan, tc: aTC},
+						b:    side{id: r.ID, pe: r.PE, op: r.Op, plan: bPlan, tc: bTC},
 					})
 					sk.stats.Combines.Inc()
 					sk.stats.combineAtStage(s)
@@ -148,12 +178,22 @@ func (c *copyNet) enqueueForward(s, sw int, r msg.Request, cycle int64, sk *sink
 	if !q.spaceFor(r.Packets()) {
 		return false
 	}
+	if r.TC.ID != 0 {
+		r.TC.Hops++
+	}
 	q.push(r)
 	if sk.probe != nil {
 		sk.probe.Emit(obs.Event{
 			Cycle: cycle, Kind: obs.KindStageArrive, PE: r.PE,
 			Stage: s, MM: -1, Copy: c.copyIdx,
 			ID: r.ID, Op: r.Op, Addr: r.Addr,
+		})
+	}
+	if sk.trace != nil && r.TC.ID != 0 {
+		sk.trace.Emit(obs.Event{
+			Cycle: cycle, Kind: obs.KindStageArrive, PE: r.PE,
+			Stage: s, MM: -1, Copy: c.copyIdx,
+			ID: r.ID, Op: r.Op, Addr: r.Addr, Value: int64(q.occupancy()),
 		})
 	}
 	return true
@@ -199,11 +239,24 @@ func (c *copyNet) acceptReply(s, sw, inPort int, rep msg.Reply, cycle int64, sk 
 			})
 			c.emitReplyHop(s, ra, cycle, sk.probe)
 		}
+		if sk.trace != nil && (ra.TC.ID != 0 || rb.TC.ID != 0) {
+			sk.trace.Emit(obs.Event{
+				Cycle: cycle, Kind: obs.KindDecombine, PE: -1,
+				Stage: s, MM: -1, Copy: c.copyIdx,
+				ID: rep.ID, ID2: rb.ID, Addr: rec.addr, Value: rep.Value,
+			})
+		}
+		if sk.trace != nil && ra.TC.ID != 0 {
+			c.emitReplyHop(s, ra, cycle, sk.trace)
+		}
 		// If qa == qb, qb's occupancy already includes ra.
 		if qb.spaceFor(rb.Packets()) {
 			qb.push(rb)
 			if sk.probe != nil {
 				c.emitReplyHop(s, rb, cycle, sk.probe)
+			}
+			if sk.trace != nil && rb.TC.ID != 0 {
+				c.emitReplyHop(s, rb, cycle, sk.trace)
 			}
 		} else {
 			c.revDefer[s][sw] = deferredReply{rep: rb, port: pb, valid: true}
@@ -218,6 +271,9 @@ func (c *copyNet) acceptReply(s, sw, inPort int, rep msg.Reply, cycle int64, sk 
 	q.push(rep)
 	if sk.probe != nil {
 		c.emitReplyHop(s, rep, cycle, sk.probe)
+	}
+	if sk.trace != nil && rep.TC.ID != 0 {
+		c.emitReplyHop(s, rep, cycle, sk.trace)
 	}
 	return true
 }
@@ -267,13 +323,17 @@ func (c *copyNet) flushDeferredAt(s, sw int, cycle int64, sk *sink) {
 		if sk.probe != nil {
 			c.emitReplyHop(s, d.rep, cycle, sk.probe)
 		}
+		if sk.trace != nil && d.rep.TC.ID != 0 {
+			c.emitReplyHop(s, d.rep, cycle, sk.trace)
+		}
 	}
 }
 
 // synthReply builds the reply owed to one side of a combined pair from
-// the combined reply's value (Figure 3).
+// the combined reply's value (Figure 3), carrying the side's own trace
+// context back toward its PE.
 func synthReply(sd side, addr msg.Addr, y int64) msg.Reply {
-	return msg.Reply{ID: sd.id, PE: sd.pe, Op: sd.op, Addr: addr, Value: sd.plan.Synthesize(y)}
+	return msg.Reply{ID: sd.id, PE: sd.pe, Op: sd.op, Addr: addr, Value: sd.plan.Synthesize(y), TC: sd.tc}
 }
 
 // step advances the copy one network cycle. Forward stages are processed
@@ -281,7 +341,7 @@ func synthReply(sd side, addr msg.Addr, y int64) msg.Reply {
 // downstream hop is usable upstream in the same cycle while every message
 // still advances at most one stage per cycle.
 func (c *copyNet) step(cycle int64) {
-	sk := sink{stats: c.stats, probe: c.probe}
+	sk := sink{stats: c.stats, probe: c.probe, trace: c.trace}
 	c.stepForward(cycle, &sk)
 	c.stepReverse(cycle, &sk)
 }
@@ -330,6 +390,13 @@ func (c *copyNet) pumpRequest(srv *reqServer, cycle int64, s, l int, sk *sink) {
 							ID: srv.req.ID, Op: srv.req.Op, Addr: srv.req.Addr,
 						})
 					}
+					if sk.trace != nil && srv.req.TC.ID != 0 {
+						sk.trace.Emit(obs.Event{
+							Cycle: cycle, Kind: obs.KindMMArrive, PE: srv.req.PE,
+							Stage: -1, MM: mm, Copy: c.copyIdx,
+							ID: srv.req.ID, Op: srv.req.Op, Addr: srv.req.Addr,
+						})
+					}
 				}
 			} else {
 				// The perfect shuffle wires output line l (or PE
@@ -357,6 +424,16 @@ func (c *copyNet) pumpRequest(srv *reqServer, cycle int64, s, l int, sk *sink) {
 			srv.delivered = false
 			srv.start = cycle
 			srv.req = r
+			if sk.trace != nil && r.TC.ID != 0 {
+				// Queue departure into the link server: together with
+				// the matching StageArrive this brackets the hop's
+				// queueing delay (Stage -1 is the PNI queue).
+				sk.trace.Emit(obs.Event{
+					Cycle: cycle, Kind: obs.KindStageDepart, PE: r.PE,
+					Stage: s, MM: -1, Copy: c.copyIdx,
+					ID: r.ID, Op: r.Op, Addr: r.Addr,
+				})
+			}
 		}
 	}
 }
@@ -424,6 +501,18 @@ func (c *copyNet) pumpReply(srv *repServer, cycle int64, s, l int, sk *sink) {
 			srv.delivered = false
 			srv.start = cycle
 			srv.rep = r
+			if sk.trace != nil && r.TC.ID != 0 {
+				stage, mm := s, -1
+				if s == t.stages {
+					// MNI output queue: l is the MM number.
+					stage, mm = -1, l
+				}
+				sk.trace.Emit(obs.Event{
+					Cycle: cycle, Kind: obs.KindReplyDepart, PE: r.PE,
+					Stage: stage, MM: mm, Copy: c.copyIdx,
+					ID: r.ID, Op: r.Op, Addr: r.Addr,
+				})
+			}
 		}
 	}
 }

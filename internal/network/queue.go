@@ -86,6 +86,11 @@ func (q *reqQueue) findCombinable(r msg.Request) int {
 	return -1
 }
 
+// setTC stamps entry i's trace context — mid-flight adoption when an
+// untraced queued request absorbs (or is absorbed by) a traced partner,
+// so the combined request's onward hops are recorded.
+func (q *reqQueue) setTC(i int, tc msg.TraceCtx) { q.entries[i].req.TC = tc }
+
 // updateCombined replaces entry i's operation and operand with the
 // combined request and marks it, adjusting packet occupancy. It reports
 // false (leaving the entry untouched) if the combined message would not
@@ -147,12 +152,14 @@ func (q *repQueue) pop() (msg.Reply, bool) {
 }
 
 // side identifies one of the two original requests recorded in a wait
-// buffer entry, with the plan for synthesizing its reply.
+// buffer entry, with the plan for synthesizing its reply and the trace
+// context the synthesized reply must carry back.
 type side struct {
 	id   uint64
 	pe   int
 	op   msg.Op
 	plan msg.ReplyPlan
+	tc   msg.TraceCtx
 }
 
 // waitRec is one wait buffer entry: when the reply to the forwarded

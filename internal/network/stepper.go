@@ -31,8 +31,10 @@ import (
 // order-free), events go to per-unit buffers drained in unit order
 // after each phase, and round-trip latencies are buffered per PE and
 // replayed in PE order — exactly the sequence a serial engine produces
-// inline. Serial and parallel runs are therefore byte-identical by
-// construction.
+// inline. The request-tracing stream (Network.SetTracer) gets per-unit
+// buffer twins with the same drain discipline, so span trees are
+// byte-identical too. Serial and parallel runs are therefore
+// byte-identical by construction.
 type Stepper struct {
 	n   *Network
 	eng engine.Engine
@@ -53,6 +55,9 @@ type Stepper struct {
 	swEvents    []obs.EventBuffer // per (copy, switch) unit
 	peEvents    []obs.EventBuffer // per PE (collect + tick phases)
 	mmEvents    []obs.EventBuffer // per MM (memory phase)
+	swTrace     []obs.EventBuffer // trace-stream twins of the above three:
+	peTrace     []obs.EventBuffer // hop events of traced requests, drained
+	mmTrace     []obs.EventBuffer // in the same unit order to the tracer
 	rtBuf       [][]int64         // per-PE round-trip latencies
 	peInjected  []int64
 	peDelivered []int64
@@ -76,6 +81,7 @@ type Stepper struct {
 	// serialSink is the reused serial-path sink.
 	phaseRun    func(ci, sw int, sk *sink)
 	phaseProbed bool
+	phaseTraced bool
 	phaseBody   func(lo, hi, w int)
 	serialSink  sink
 }
@@ -103,6 +109,9 @@ func NewStepper(n *Network, eng engine.Engine) *Stepper {
 		st.swEvents = make([]obs.EventBuffer, st.units)
 		st.peEvents = make([]obs.EventBuffer, ports)
 		st.mmEvents = make([]obs.EventBuffer, ports)
+		st.swTrace = make([]obs.EventBuffer, st.units)
+		st.peTrace = make([]obs.EventBuffer, ports)
+		st.mmTrace = make([]obs.EventBuffer, ports)
 		st.rtBuf = make([][]int64, ports)
 		st.peInjected = make([]int64, ports)
 		st.peDelivered = make([]int64, ports)
@@ -180,6 +189,9 @@ func (st *Stepper) buildPhases(stages, k int) {
 			if st.phaseProbed {
 				sk.probe = &st.swEvents[u]
 			}
+			if st.phaseTraced {
+				sk.trace = &st.swTrace[u]
+			}
 			st.phaseRun(u/st.group, u%st.group, &sk)
 		}
 	}
@@ -216,19 +228,25 @@ func (st *Stepper) Engine() engine.Engine { return st.eng }
 func (st *Stepper) phase(run func(ci, sw int, sk *sink)) {
 	n := st.n
 	if !st.par {
-		st.serialSink = sink{stats: &n.stats, probe: n.probe}
+		st.serialSink = sink{stats: &n.stats, probe: n.probe, trace: n.trace}
 		for u := 0; u < st.units; u++ {
 			run(u/st.group, u%st.group, &st.serialSink)
 		}
 		return
 	}
 	st.phaseProbed = n.probe != nil
+	st.phaseTraced = n.trace != nil
 	st.phaseRun = run
 	st.eng.Run(st.units, st.phaseBody)
 	st.phaseRun = nil
 	if st.phaseProbed {
 		for u := range st.swEvents {
 			st.swEvents[u].DrainTo(n.probe)
+		}
+	}
+	if st.phaseTraced {
+		for u := range st.swTrace {
+			st.swTrace[u].DrainTo(n.trace)
 		}
 	}
 }
@@ -271,11 +289,14 @@ func (st *Stepper) Inject(pe int, r msg.Request, cycle int64) bool {
 	if !st.par {
 		return st.n.Inject(pe, r, cycle)
 	}
-	var pr obs.Probe
+	var pr, tr obs.Probe
 	if st.n.probe != nil {
 		pr = &st.peEvents[pe]
 	}
-	if st.n.injectInto(pe, r, cycle, pr) {
+	if st.n.trace != nil {
+		tr = &st.peTrace[pe]
+	}
+	if st.n.injectInto(pe, r, cycle, pr, tr) {
 		st.peInjected[pe]++
 		return true
 	}
@@ -289,11 +310,14 @@ func (st *Stepper) Collect(pe int, cycle int64) []msg.Reply {
 	if !st.par {
 		return st.n.Collect(pe, cycle)
 	}
-	var pr obs.Probe
+	var pr, tr obs.Probe
 	if st.n.probe != nil {
 		pr = &st.peEvents[pe]
 	}
-	return st.n.collectInto(pe, cycle, st.collectFns[pe], pr)
+	if st.n.trace != nil {
+		tr = &st.peTrace[pe]
+	}
+	return st.n.collectInto(pe, cycle, st.collectFns[pe], pr, tr)
 }
 
 // MMDequeue is Network.MMDequeue routed through the stepper's sinks;
@@ -327,6 +351,16 @@ func (st *Stepper) MMProbe(mm int) obs.Probe {
 		return st.n.probe
 	}
 	return &st.mmEvents[mm]
+}
+
+// MMTrace returns the trace stream memory module mm must emit through
+// while driven by this stepper: the tracer itself when serial, mm's
+// trace buffer when parallel (drained in MM order by FlushMM).
+func (st *Stepper) MMTrace(mm int) obs.Probe {
+	if !st.par || st.n.trace == nil {
+		return st.n.trace
+	}
+	return &st.mmTrace[mm]
 }
 
 // FlushCollect merges the collect phase's buffers: round-trip
@@ -369,11 +403,18 @@ func (st *Stepper) FlushInject() {
 // flushes call it; phases that buffer events without touching network
 // counters (IdealMemory ticks) call it directly.
 func (st *Stepper) DrainPEEvents() {
-	if !st.par || st.n.probe == nil {
+	if !st.par {
 		return
 	}
-	for pe := range st.peEvents {
-		st.peEvents[pe].DrainTo(st.n.probe)
+	if st.n.probe != nil {
+		for pe := range st.peEvents {
+			st.peEvents[pe].DrainTo(st.n.probe)
+		}
+	}
+	if st.n.trace != nil {
+		for pe := range st.peTrace {
+			st.peTrace[pe].DrainTo(st.n.trace)
+		}
 	}
 }
 
@@ -390,6 +431,11 @@ func (st *Stepper) FlushMM() {
 	if st.n.probe != nil {
 		for mm := range st.mmEvents {
 			st.mmEvents[mm].DrainTo(st.n.probe)
+		}
+	}
+	if st.n.trace != nil {
+		for mm := range st.mmTrace {
+			st.mmTrace[mm].DrainTo(st.n.trace)
 		}
 	}
 }

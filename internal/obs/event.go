@@ -26,6 +26,14 @@ const (
 	KindCacheMiss
 	KindCacheWriteBack
 
+	// Dequeue-side hops, emitted only on the request-tracing stream
+	// (internal/obs/reqtrace): a request popped from a ToMM/PNI queue
+	// into its link server, and a reply popped from a ToPE/MNI queue.
+	// Together with the arrive kinds above they bracket per-hop queue
+	// residency.
+	KindStageDepart
+	KindReplyDepart
+
 	numKinds
 )
 
@@ -33,6 +41,7 @@ var kindNames = [...]string{
 	"Inject", "StageArrive", "Combine", "MMArrive", "MNIBegin",
 	"MNIServe", "Decombine", "ReplyHop", "ReplyDeliver", "StallBegin",
 	"StallEnd", "CacheHit", "CacheMiss", "CacheWriteBack",
+	"StageDepart", "ReplyDepart",
 }
 
 // String names the kind.

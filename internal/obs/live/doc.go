@@ -36,8 +36,20 @@
 //	/events         Recent probe events as JSONL; ?follow=1 streams
 //	                new events as they are published until the run
 //	                finishes.
+//	/trace/flight   The request tracer's flight recorder as JSONL: the
+//	                ring of recent complete spans plus slow outliers
+//	                (404 unless a tracer is attached via
+//	                Server.SetFlight).
 //	/healthz        Liveness plus publish progress.
 //	/debug/pprof/   Standard net/http/pprof handlers.
+//
+// # Flight recorder
+//
+// When a Feed carries a reqtrace.Tracer and a FlightDir, every
+// conformance alert additionally dumps the tracer's current flight
+// ring to FlightDir/flight-<cycle>.jsonl (capped at MaxFlightDumps per
+// run), so the per-request traces that explain the alert are on disk
+// the moment it fires; State.FlightDumps lists the files written.
 //
 // # Model conformance
 //

@@ -1,6 +1,13 @@
 package live
 
-import "ultracomputer/internal/obs"
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ultracomputer/internal/obs"
+	"ultracomputer/internal/obs/reqtrace"
+)
 
 // DefaultTailEvents bounds how many probe events one published State
 // carries — enough for /events to show a request lifecycle or two per
@@ -9,6 +16,11 @@ const DefaultTailEvents = 256
 
 // maxAlerts bounds the alert history carried by each State.
 const maxAlerts = 32
+
+// DefaultMaxFlightDumps bounds alert-triggered flight-recorder dumps
+// per run (each alert window past the cap is still recorded in Alerts,
+// it just stops writing files).
+const DefaultMaxFlightDumps = 8
 
 // AlertEvent is one structured conformance alert: a sampling window
 // whose measured latency drifted beyond the model threshold (hot-spot
@@ -40,6 +52,9 @@ type State struct {
 	Conformance *Conformance `json:"conformance,omitempty"`
 	// Alerts is the recent alert history, oldest first (capped).
 	Alerts []AlertEvent `json:"alerts,omitempty"`
+	// FlightDumps lists the flight-recorder files written so far:
+	// alert-triggered dumps of the tracer's last-N/slow-outlier spans.
+	FlightDumps []string `json:"flight_dumps,omitempty"`
 	// MMSkew is max/mean of the per-module served counts over the
 	// window: ~1 under uniform hashed traffic, up to N when one module
 	// takes all the traffic. Zero when the window served nothing.
@@ -72,13 +87,24 @@ type Feed struct {
 	// Report, when non-nil, is called during each publish (on the
 	// simulation goroutine) to attach a driver-defined aggregate.
 	Report func() any
+	// Tracer, when non-nil together with FlightDir, turns the request
+	// tracer into an alert-triggered flight recorder: every conformance
+	// alert dumps the tracer's ring of recent complete spans plus the
+	// slow-outlier reservoir to FlightDir/flight-<cycle>.jsonl.
+	Tracer *reqtrace.Tracer
+	// FlightDir is the directory flight dumps are written to.
+	FlightDir string
+	// MaxFlightDumps caps dumps per run; <= 0 selects
+	// DefaultMaxFlightDumps.
+	MaxFlightDumps int
 
-	seq        int64
-	prev       obs.Snapshot
-	havePrev   bool
-	prevEvents int64
-	alerts     []AlertEvent
-	last       *State
+	seq         int64
+	prev        obs.Snapshot
+	havePrev    bool
+	prevEvents  int64
+	alerts      []AlertEvent
+	flightDumps []string
+	last        *State
 }
 
 // Attach wires the feed to a sampler's copy-on-sample hook and returns
@@ -106,10 +132,14 @@ func (f *Feed) Publish(sn obs.Snapshot) {
 			if len(f.alerts) > maxAlerts {
 				f.alerts = f.alerts[len(f.alerts)-maxAlerts:]
 			}
+			f.dumpFlight(c.Cycle)
 		}
 	}
 	if len(f.alerts) > 0 {
 		st.Alerts = append([]AlertEvent(nil), f.alerts...)
+	}
+	if len(f.flightDumps) > 0 {
+		st.FlightDumps = append([]string(nil), f.flightDumps...)
 	}
 	if f.havePrev {
 		st.MMSkew = servedSkew(f.prev.MMServedPerModule, sn.MMServedPerModule)
@@ -138,6 +168,40 @@ func (f *Feed) Publish(sn obs.Snapshot) {
 		f.Server.Publish(st)
 	}
 }
+
+// dumpFlight writes one alert-triggered flight-recorder file: the
+// tracer's bounded ring of recent complete spans plus the slow-outlier
+// reservoir, as JSONL. Write errors drop the dump silently — the
+// flight recorder is diagnostics, never allowed to kill the run.
+func (f *Feed) dumpFlight(cycle int64) {
+	if f.Tracer == nil || f.FlightDir == "" {
+		return
+	}
+	max := f.MaxFlightDumps
+	if max <= 0 {
+		max = DefaultMaxFlightDumps
+	}
+	if len(f.flightDumps) >= max {
+		return
+	}
+	path := filepath.Join(f.FlightDir, fmt.Sprintf("flight-%d.jsonl", cycle))
+	fh, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	err = f.Tracer.WriteFlightJSONL(fh)
+	if cerr := fh.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return
+	}
+	f.flightDumps = append(f.flightDumps, path)
+}
+
+// FlightDumps returns the flight files written so far (driver-side
+// convenience; not safe concurrently with Publish).
+func (f *Feed) FlightDumps() []string { return f.flightDumps }
 
 // Finish republishes the last State marked Done, signaling followers of
 // /events that no more data is coming. Call it once after the run.

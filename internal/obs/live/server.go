@@ -3,6 +3,7 @@ package live
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -24,7 +25,22 @@ const followPollInterval = 25 * time.Millisecond
 type Server struct {
 	mux *http.ServeMux
 	cur atomic.Pointer[State]
+	// flight serves /trace/flight; set before Start (SetFlight).
+	flight FlightSource
 }
+
+// FlightSource provides an on-demand flight-recorder dump: the current
+// ring of complete request spans plus slow outliers, as JSONL. The
+// reqtrace.Tracer implements it (WriteFlightJSONL locks the tracer, so
+// serving mid-run is safe).
+type FlightSource interface {
+	WriteFlightJSONL(w io.Writer) error
+}
+
+// SetFlight attaches the flight-recorder source served by
+// /trace/flight. Call before Start; nil (the default) makes the
+// endpoint report that tracing is disabled.
+func (s *Server) SetFlight(src FlightSource) { s.flight = src }
 
 // NewServer returns a server with all endpoints registered.
 func NewServer() *Server {
@@ -33,6 +49,7 @@ func NewServer() *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/snapshot.json", s.handleSnapshot)
 	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/trace/flight", s.handleFlight)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -103,19 +120,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // eventJSON is the /events wire form of an obs.Event: enums as strings,
 // the address split into module and word.
 type eventJSON struct {
-	Cycle int64  `json:"cycle"`
-	Kind  string `json:"kind"`
-	Op    string `json:"op"`
-	Cause string `json:"cause,omitempty"`
-	PE    int    `json:"pe"`
-	Stage int    `json:"stage"`
-	MM    int    `json:"mm"`
-	Copy  int    `json:"copy"`
-	ID    uint64 `json:"id"`
-	ID2   uint64 `json:"id2,omitempty"`
-	AddrMM   int `json:"addr_mm"`
-	AddrWord int `json:"addr_word"`
-	Value int64 `json:"value"`
+	Cycle    int64  `json:"cycle"`
+	Kind     string `json:"kind"`
+	Op       string `json:"op"`
+	Cause    string `json:"cause,omitempty"`
+	PE       int    `json:"pe"`
+	Stage    int    `json:"stage"`
+	MM       int    `json:"mm"`
+	Copy     int    `json:"copy"`
+	ID       uint64 `json:"id"`
+	ID2      uint64 `json:"id2,omitempty"`
+	AddrMM   int    `json:"addr_mm"`
+	AddrWord int    `json:"addr_word"`
+	Value    int64  `json:"value"`
 }
 
 func toEventJSON(ev obs.Event) eventJSON {
@@ -162,6 +179,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-time.After(followPollInterval):
 		}
+	}
+}
+
+// handleFlight dumps the flight recorder on demand: the tracer's ring
+// of recent complete spans plus the slow-outlier reservoir, as JSONL.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintln(w, `{"error":"request tracing not enabled; run with -reqtrace"}`)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.flight.WriteFlightJSONL(w); err != nil {
+		// Headers are gone; nothing useful to do but stop writing.
+		return
 	}
 }
 

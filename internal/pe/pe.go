@@ -104,6 +104,10 @@ func (p *PE) SetProbe(pr obs.Probe, scale int64) {
 	}
 }
 
+// SetTracer attaches a request-tracing sampler to the PNI (nil
+// detaches): sampled requests leave the PE carrying a trace context.
+func (p *PE) SetTracer(t TraceSampler) { p.pni.tracer = t }
+
 // New builds a PE around core with a PNI that hashes addresses with h and
 // injects into the network via inject. maxOutstanding bounds concurrent
 // shared requests (the paper's register-locking design allows several).

@@ -24,6 +24,17 @@ type PNI struct {
 	seq     uint32
 	pending map[uint64]pendingReq
 	byAddr  map[int64]bool
+
+	// tracer, when non-nil, decides per request ID whether the request
+	// carries a causal-tracing context (internal/obs/reqtrace).
+	tracer TraceSampler
+}
+
+// TraceSampler stamps sampled requests with a trace context at issue.
+// The decision must be a pure function of the request ID so serial and
+// parallel engines sample identically (internal/obs/reqtrace.Tracer).
+type TraceSampler interface {
+	ContextFor(id uint64) msg.TraceCtx
 }
 
 type pendingReq struct {
@@ -69,6 +80,9 @@ func (p *PNI) issue(op msg.Op, addr int64, operand int64, tag int, cycle int64) 
 		Addr:    p.hash.Map(addr),
 		Operand: operand,
 		Issued:  cycle,
+	}
+	if p.tracer != nil {
+		req.TC = p.tracer.ContextFor(id)
 	}
 	if !p.inject(req) {
 		p.seq-- // ID not consumed

@@ -8,23 +8,32 @@ import (
 	"ultracomputer/internal/engine"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
+	"ultracomputer/internal/obs/reqtrace"
 )
 
 // traceArtifact runs the synthetic-traffic driver under eng with the
-// probe and sampler attached and returns everything observable: the
-// Result, the full event stream, and the metrics JSONL bytes.
-func traceArtifact(t *testing.T, cfg network.Config, w Workload, eng engine.Engine) (Result, []obs.Event, []byte) {
+// probe, sampler and request tracer attached and returns everything
+// observable: the Result, the full event stream, the metrics JSONL
+// bytes, and the tracer's flight-recorder JSONL bytes (sampling at 0.6
+// exercises both the traced and untraced branch of every hop site).
+func traceArtifact(t *testing.T, cfg network.Config, w Workload, eng engine.Engine) (Result, []obs.Event, []byte, []byte) {
 	t.Helper()
 	rec := obs.NewRecorder(1 << 20)
 	sampler := obs.NewSampler(32)
 	w.Probe = rec
 	w.Sampler = sampler
+	tr := reqtrace.New(reqtrace.Config{Rate: 0.6, Seed: 11, Ring: 1 << 14})
+	w.Tracer = tr
 	res := RunEngine(cfg, w, 200, 1200, eng)
 	var mb bytes.Buffer
 	if err := sampler.WriteJSONL(&mb); err != nil {
 		t.Fatalf("metrics export: %v", err)
 	}
-	return res, rec.Events(), mb.Bytes()
+	var fb bytes.Buffer
+	if err := tr.WriteFlightJSONL(&fb); err != nil {
+		t.Fatalf("flight export: %v", err)
+	}
+	return res, rec.Events(), mb.Bytes(), fb.Bytes()
 }
 
 // TestRunEngineEquivalence checks the synthetic-traffic runner the same
@@ -52,16 +61,19 @@ func TestRunEngineEquivalence(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			wantRes, wantEv, wantMet := traceArtifact(t, tc.cfg, tc.w, nil)
+			wantRes, wantEv, wantMet, wantFl := traceArtifact(t, tc.cfg, tc.w, nil)
 			if len(wantEv) == 0 {
 				t.Fatal("serial run emitted no events")
+			}
+			if len(wantFl) == 0 {
+				t.Fatal("serial run recorded no spans — tracer not wired")
 			}
 			if wantRes.Served == 0 {
 				t.Fatal("serial run served nothing — workload too light to prove anything")
 			}
 			for _, workers := range []int{1, 3, 8} {
 				eng := engine.NewParallel(workers)
-				gotRes, gotEv, gotMet := traceArtifact(t, tc.cfg, tc.w, eng)
+				gotRes, gotEv, gotMet, gotFl := traceArtifact(t, tc.cfg, tc.w, eng)
 				eng.Close()
 				if sr, gr := resultKey(wantRes), resultKey(gotRes); sr != gr {
 					t.Errorf("workers=%d: Result differs\n serial  %s\n parallel %s", workers, sr, gr)
@@ -79,6 +91,13 @@ func TestRunEngineEquivalence(t *testing.T) {
 				}
 				if !bytes.Equal(wantMet, gotMet) {
 					t.Errorf("workers=%d: metrics JSONL differs", workers)
+				}
+				if !bytes.Equal(wantFl, gotFl) {
+					i := 0
+					for i < len(wantFl) && i < len(gotFl) && wantFl[i] == gotFl[i] {
+						i++
+					}
+					t.Errorf("workers=%d: span/flight JSONL differs at byte %d", workers, i)
 				}
 			}
 		})

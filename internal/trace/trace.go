@@ -15,6 +15,7 @@ import (
 	"ultracomputer/internal/msg"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
+	"ultracomputer/internal/obs/reqtrace"
 	"ultracomputer/internal/sim"
 )
 
@@ -55,6 +56,10 @@ type Workload struct {
 	// Sampler, when non-nil, records a metrics snapshot every
 	// Sampler.Every cycles of the run.
 	Sampler *obs.Sampler
+	// Tracer, when non-nil, samples requests for causal per-hop tracing
+	// (internal/obs/reqtrace); sampled requests carry a trace context and
+	// the run records their complete span trees.
+	Tracer *reqtrace.Tracer
 }
 
 func (w Workload) withDefaults() Workload {
@@ -135,10 +140,21 @@ func RunEngine(cfg network.Config, w Workload, warmup, measure int64, eng engine
 		net.SetProbe(w.Probe)
 		bank.SetProbe(w.Probe)
 	}
+	if w.Tracer != nil {
+		net.SetTracer(w.Tracer)
+		bank.SetTracer(w.Tracer)
+	}
 	st := network.NewStepper(net, eng)
-	if st.Parallel() && w.Probe != nil {
-		for mm, mod := range bank.Modules {
-			mod.SetProbe(st.MMProbe(mm))
+	if st.Parallel() {
+		if w.Probe != nil {
+			for mm, mod := range bank.Modules {
+				mod.SetProbe(st.MMProbe(mm))
+			}
+		}
+		if w.Tracer != nil {
+			for mm, mod := range bank.Modules {
+				mod.SetTracer(st.MMTrace(mm))
+			}
 		}
 	}
 	rng := sim.NewRand(w.Seed)
@@ -222,6 +238,11 @@ func RunEngine(cfg network.Config, w Workload, warmup, measure int64, eng engine
 					Addr:    hash.Map(linear),
 					Operand: 1,
 					Issued:  cycle,
+				}
+				if w.Tracer != nil {
+					// ContextFor is a pure hash of the ID — identical
+					// sampling under every engine and worker count.
+					req.TC = w.Tracer.ContextFor(req.ID)
 				}
 				if st.Inject(pe, req, cycle) {
 					if measuring {
