@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet lint test race bench bench-guard equivalence trace-smoke clean
+.PHONY: ci build vet lint verify test race bench bench-guard equivalence trace-smoke clean
 
-ci: vet lint build race test equivalence bench-guard
+ci: vet lint verify build race test equivalence bench-guard
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,19 @@ vet:
 # lint over the shipped assembly examples, diffed against the committed
 # .ultravet-baseline.json — the build fails only on NEW findings.
 lint:
-	$(GO) run ./cmd/ultravet ./... examples/asm/*.s
+	$(GO) run ./cmd/ultravet ./... examples/asm/*.s internal/coord/guest/*.s
+
+# Exhaustive guest verification (internal/lint/guest/mc): model-check
+# every shipped assembly program — the examples and the coord guest
+# twins — at 3 PEs, proving the `;mc:` properties plus deadlock and
+# lost-update freedom over every interleaving. Wall-clock budget: ~25s
+# single-threaded (queue.s at N=3 explores ~980k states in ~13s, rw.s
+# ~690k in ~8s; everything else is milliseconds — dotproduct.s caps
+# itself at N=2 via `;mc: bound`). `make lint` already runs the same
+# checker at the cheap N=2 bound as part of the default analyzer set.
+verify:
+	$(GO) run ./cmd/ultravet -enable guestmc -mc-pes 3 \
+		examples/asm/*.s internal/coord/guest/*.s
 
 # The whole tree runs under the race detector: the lock-free
 # coordination layers and, since the live telemetry server, the

@@ -21,9 +21,11 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"ultracomputer/internal/engine"
 	"ultracomputer/internal/isa"
+	"ultracomputer/internal/lint/guest/mc"
 	"ultracomputer/internal/machine"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
@@ -39,6 +41,7 @@ func main() {
 	hashing := flag.Bool("hashing", true, "hash addresses over memory modules")
 	local := flag.Int("local", 4096, "private memory words per PE")
 	lintFlag := flag.Bool("lint", false, "run the guest coherence/race lint before the program; findings abort the run")
+	verifyFlag := flag.Bool("verify", false, "model-check the program exhaustively at 2 PEs (`;mc:` properties, deadlock, lost updates) before the run; a violation prints its schedule and aborts")
 	limit := flag.Int64("limit", 100_000_000, "network-cycle limit")
 	dump := flag.String("dump", "", "shared memory range to print, lo:hi")
 	regs := flag.String("reg", "", "comma-separated integer registers to print per PE")
@@ -76,6 +79,36 @@ func main() {
 	if *disasm {
 		fmt.Print(prog.Disassemble())
 		return
+	}
+
+	// -verify preflight: an exhaustive 2-PE interleaving proof is cheap
+	// next to a long simulation and catches the coordination bugs the
+	// per-PE lint cannot (the bound stays at 2 — or lower via `;mc:
+	// bound` — because the state space grows steeply with PEs; ultravet
+	// -mc-pes raises it offline).
+	if *verifyFlag {
+		res, err := mc.CheckSource(string(src), mc.Options{PEs: 2})
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case res.Suppressed:
+			fmt.Fprintf(os.Stderr, "verify: %s: suppressed (%s)\n", flag.Arg(0), res.SuppressReason)
+		case res.Exhausted:
+			fmt.Fprintf(os.Stderr, "verify: %s: state budget exhausted after %d states; nothing proven\n", flag.Arg(0), res.States)
+			os.Exit(1)
+		case res.Violation != nil:
+			v := res.Violation
+			fmt.Fprintf(os.Stderr, "verify: %s: %s\n", flag.Arg(0), v.Message)
+			fmt.Fprintf(os.Stderr, "counterexample schedule (%d PEs):\n", res.PEs)
+			for _, st := range v.Steps {
+				fmt.Fprintf(os.Stderr, "  PE%d  line %-3d  %s\n", st.PE, st.Line, st.Asm)
+			}
+			os.Exit(1)
+		default:
+			fmt.Fprintf(os.Stderr, "verify: %s: clean (%d states at %d PEs, %s)\n",
+				flag.Arg(0), res.States, res.PEs, res.Elapsed.Round(time.Millisecond))
+		}
 	}
 
 	cfg := machine.Config{

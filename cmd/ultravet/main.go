@@ -21,10 +21,20 @@
 //	           Compute-phase entry point writes only shard-owned state
 //	hotalloc   flag heap-allocation sites reachable from the cycle loop
 //
-// Assembly files (*.s) are assembled and run through the guest lint
-// (internal/lint): cross-PE race, stale cached read, unflushed cached
-// write and — with -copies > 1 — late-flush checks over the program
-// each of -pes PEs would execute.
+// Assembly files (*.s) run through two guest analyzers:
+//
+//	guest    the coherence/race lint (internal/lint): cross-PE race,
+//	         stale cached read, unflushed cached write and — with
+//	         -copies > 1 — late-flush checks over the program each of
+//	         -pes PEs would execute
+//	guestmc  the bounded model checker (internal/lint/guest/mc):
+//	         exhaustive interleaving search at -mc-pes PEs proving the
+//	         file's `;mc:` properties plus deadlock and lost-update
+//	         freedom; violations come with a replayable counterexample
+//	         schedule (-cex writes them as JSONL)
+//
+// Both honor -enable/-disable by those names. A `.s` file opts out of
+// the model checker with `;ultravet:ok guestmc <reason>`.
 //
 // Intentional findings are silenced in source with
 // `//ultravet:ok <analyzer> <reason>`; everything else accumulates in a
@@ -55,6 +65,7 @@ import (
 	"ultracomputer/internal/isa"
 	"ultracomputer/internal/lint"
 	"ultracomputer/internal/lint/analysis"
+	"ultracomputer/internal/lint/guest/mc"
 	"ultracomputer/internal/lint/detstate"
 	"ultracomputer/internal/lint/findings"
 	"ultracomputer/internal/lint/hotalloc"
@@ -74,10 +85,23 @@ var registry = []*analysis.Analyzer{
 	hotalloc.Analyzer,
 }
 
+// guestRegistry lists the *.s pseudo-analyzers; they share the
+// -enable/-disable namespace with the host registry.
+var guestRegistry = []struct{ name, doc string }{
+	{"guest", "assemble *.s files and check cross-PE races, cached-read " +
+		"staleness, unflushed and late-flushed cached writes (internal/lint)"},
+	{"guestmc", "exhaustively model-check *.s files at -mc-pes PEs: `;mc:` " +
+		"invariants/finals/asserts/noconcur plus deadlock and lost-update " +
+		"freedom, with replayable counterexamples (internal/lint/guest/mc)"},
+}
+
 func main() {
 	var (
 		pes      = flag.Int("pes", 4, "PE count assumed by the guest lint for *.s files")
 		copies   = flag.Int("copies", 1, "network copies assumed by the guest lint (Copies > 1 enables the late-flush rule)")
+		mcPEs    = flag.Int("mc-pes", 2, "PE count the guestmc model checker enumerates exhaustively (state space grows steeply; a file's `;mc: bound` can cap it lower)")
+		mcStates = flag.Int("mc-states", mc.DefaultMaxStates, "guestmc state budget per file; exhausting it is itself a finding")
+		cexDir   = flag.String("cex", "", "directory to write guestmc counterexample schedules to, <prog>.cex.jsonl (replayable via internal/lint/guest/mc.Replay)")
 		jsonOut  = flag.Bool("json", false, "print every finding as a JSON array (stable IDs, canonical order)")
 		baseline = flag.String("baseline", ".ultravet-baseline.json", "accepted-findings file; exit 1 only on findings missing from it (empty string disables)")
 		writeBL  = flag.Bool("write-baseline", false, "write the current findings to the baseline file and exit 0")
@@ -95,12 +119,13 @@ func main() {
 		for _, a := range registry {
 			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
-		fmt.Printf("%-11s %s\n", "guest", "assemble *.s files and check cross-PE races, cached-read "+
-			"staleness, unflushed and late-flushed cached writes (internal/lint)")
+		for _, g := range guestRegistry {
+			fmt.Printf("%-11s %s\n", g.name, g.doc)
+		}
 		return
 	}
 
-	analyzers, err := selectAnalyzers(*enable, *disable)
+	analyzers, guests, err := selectAnalyzers(*enable, *disable)
 	if err != nil {
 		fatal(err)
 	}
@@ -136,11 +161,16 @@ func main() {
 	sort.Strings(dirs)
 
 	var all []findings.Finding
-	if len(dirs) > 0 {
+	if len(dirs) > 0 && len(analyzers) > 0 {
 		all = append(all, hostLint(analyzers, dirs)...)
 	}
 	for _, path := range asmFiles {
-		all = append(all, guestLint(path, *pes, *copies)...)
+		if guests["guest"] {
+			all = append(all, guestLint(path, *pes, *copies)...)
+		}
+		if guests["guestmc"] {
+			all = append(all, guestMC(path, *mcPEs, *mcStates, *cexDir)...)
+		}
 	}
 	findings.AssignIDs(all)
 
@@ -178,12 +208,16 @@ func main() {
 	}
 }
 
-// selectAnalyzers resolves the -enable/-disable flags against the
-// registry.
-func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
-	byName := map[string]*analysis.Analyzer{}
+// selectAnalyzers resolves the -enable/-disable flags against the host
+// registry and the guest pseudo-analyzers. It returns the host analyzers
+// to run and the set of enabled guest analyzer names.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, map[string]bool, error) {
+	known := map[string]bool{}
 	for _, a := range registry {
-		byName[a.Name] = a
+		known[a.Name] = true
+	}
+	for _, g := range guestRegistry {
+		known[g.name] = true
 	}
 	names := func(csv string) (map[string]bool, error) {
 		set := map[string]bool{}
@@ -195,7 +229,7 @@ func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
 			if n == "" {
 				continue
 			}
-			if byName[n] == nil {
+			if !known[n] {
 				return nil, fmt.Errorf("unknown analyzer %q (try -list)", n)
 			}
 			set[n] = true
@@ -204,23 +238,31 @@ func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
 	}
 	on, err := names(enable)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	off, err := names(disable)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var out []*analysis.Analyzer
+	selected := func(name string) bool {
+		if len(on) > 0 && !on[name] {
+			return false
+		}
+		return !off[name]
+	}
+	var hosts []*analysis.Analyzer
 	for _, a := range registry {
-		if len(on) > 0 && !on[a.Name] {
-			continue
+		if selected(a.Name) {
+			hosts = append(hosts, a)
 		}
-		if off[a.Name] {
-			continue
-		}
-		out = append(out, a)
 	}
-	return out, nil
+	guests := map[string]bool{}
+	for _, g := range guestRegistry {
+		if selected(g.name) {
+			guests[g.name] = true
+		}
+	}
+	return hosts, guests, nil
 }
 
 // hostLint loads every package dir, runs the per-package analyzers on
@@ -307,6 +349,54 @@ func guestLint(path string, pes, copies int) []findings.Finding {
 		})
 	}
 	return out
+}
+
+// guestMC model-checks path exhaustively at pes PEs (or the file's own
+// `;mc: bound`, whichever is lower) and reports any property violation,
+// deadlock, lost update or exhausted state budget as a finding. With a
+// cexDir, the violation's schedule is also written as replayable JSONL.
+func guestMC(path string, pes, maxStates int, cexDir string) []findings.Finding {
+	res, err := mc.CheckFile(path, mc.Options{PEs: pes, MaxStates: maxStates})
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if res.Suppressed {
+		return nil
+	}
+	if res.Exhausted {
+		return []findings.Finding{{
+			Analyzer: "guestmc",
+			File:     relPath(path),
+			Message: fmt.Sprintf("state budget exhausted at %d PEs before the search closed; "+
+				"raise -mc-states or add `;mc: bound` to shrink the space", res.PEs),
+		}}
+	}
+	v := res.Violation
+	if v == nil {
+		return nil
+	}
+	if cexDir != "" {
+		name := strings.TrimSuffix(filepath.Base(path), ".s") + ".cex.jsonl"
+		out := filepath.Join(cexDir, name)
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := mc.WriteCex(f, v); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ultravet: wrote %s (%d-step schedule)\n", out, len(v.Steps))
+	}
+	return []findings.Finding{{
+		Analyzer: "guestmc",
+		File:     relPath(path),
+		Line:     v.Line,
+		Message:  fmt.Sprintf("%s (%d PEs, %d-step counterexample)", v.Message, res.PEs, len(v.Steps)),
+	}}
 }
 
 // relPath makes name working-directory-relative when possible, keeping

@@ -9,6 +9,7 @@ import (
 
 	"ultracomputer/internal/lint/analysis"
 	"ultracomputer/internal/lint/findings"
+	"ultracomputer/internal/lint/guest/mc"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files")
@@ -58,17 +59,66 @@ func TestJSONGolden(t *testing.T) {
 	}
 }
 
-// TestSelectAnalyzers checks the -enable/-disable registry resolution.
+// TestMutantJSONGolden pins the guestmc half of `ultravet -json`: the
+// model checker runs over a seeded-bug fixture and the serialized finding
+// — kind, counterexample length, stable ID — must match the committed
+// golden byte for byte, run after run (the search is deterministic).
+func TestMutantJSONGolden(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "handoff_noflush.s")
+	gather := func() []findings.Finding {
+		fs := guestMC(fixture, 2, mc.DefaultMaxStates, "")
+		findings.AssignIDs(fs)
+		return fs
+	}
+
+	fs := gather()
+	if len(fs) == 0 {
+		t.Fatal("mutant fixture produced no findings; the golden test is vacuous")
+	}
+	var buf bytes.Buffer
+	if err := findings.WriteJSON(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+
+	var again bytes.Buffer
+	if err := findings.WriteJSON(&again, gather()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatalf("two runs, different JSON:\n%s\nvs\n%s", buf.Bytes(), again.Bytes())
+	}
+
+	golden := filepath.Join("testdata", "mutant.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from %s (run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestSelectAnalyzers checks the -enable/-disable registry resolution,
+// host and guest halves both.
 func TestSelectAnalyzers(t *testing.T) {
-	all, err := selectAnalyzers("", "")
+	all, guests, err := selectAnalyzers("", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(all) != len(registry) {
 		t.Fatalf("default selection has %d analyzers, want %d", len(all), len(registry))
 	}
+	if !guests["guest"] || !guests["guestmc"] {
+		t.Fatalf("default guest selection = %v, want both guest and guestmc", guests)
+	}
 
-	some, err := selectAnalyzers("sharecheck,hotalloc", "")
+	some, _, err := selectAnalyzers("sharecheck,hotalloc", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +126,7 @@ func TestSelectAnalyzers(t *testing.T) {
 		t.Fatalf("-enable sharecheck,hotalloc selected %v", names(some))
 	}
 
-	most, err := selectAnalyzers("", "stagecheck")
+	most, _, err := selectAnalyzers("", "stagecheck")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +139,22 @@ func TestSelectAnalyzers(t *testing.T) {
 		}
 	}
 
-	if _, err := selectAnalyzers("nosuch", ""); err == nil {
+	hosts, guests, err := selectAnalyzers("guestmc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 0 {
+		t.Fatalf("-enable guestmc still selected host analyzers %v", names(hosts))
+	}
+	if !guests["guestmc"] || guests["guest"] {
+		t.Fatalf("-enable guestmc selected guests %v", guests)
+	}
+
+	if _, guests, err := selectAnalyzers("", "guestmc"); err != nil || guests["guestmc"] || !guests["guest"] {
+		t.Fatalf("-disable guestmc: guests %v, err %v", guests, err)
+	}
+
+	if _, _, err := selectAnalyzers("nosuch", ""); err == nil {
 		t.Fatal("unknown analyzer accepted")
 	}
 }

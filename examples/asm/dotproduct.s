@@ -12,6 +12,13 @@
 ;
 ; PE 0 first initializes x[i] = i+1 and y[i] = 2 so the expected result
 ; is 2 * (1+2+...+16) = 272; the other PEs spin on the ready flag M[301].
+;
+; Model-checked at 2 PEs only: this is a data-parallel loop, not a
+; coordination algorithm — the accumulator takes a different partial sum
+; for every subset of claimed elements, so the state space explodes
+; combinatorially with more PEs while adding no new interleaving shapes.
+;mc: bound 2
+;mc: final M[300] == 272 && M[200] >= 16
 
         rdpe r1
         bne  r1, r0, wait   ; only PE 0 initializes

@@ -5,6 +5,12 @@
 ;   go run ./cmd/ultrasim -pes 8 -dump 500:509 examples/asm/tickets.s
 ;
 ; Shared memory: M[500] = ticket counter, M[501+t] = PE that drew ticket t.
+;
+; Model-checked properties: every ticket is drawn exactly once, so the
+; counter ends at the PE count and the claimed slots hold each PE number
+; exactly once (their sum is 0+1+...+(npes-1); unclaimed slots stay 0).
+;mc: final M[500] == npes
+;mc: final M[501] + M[502] + M[503] == npes*(npes-1)/2
 
         li   r1, 500        ; counter address
         li   r2, 1

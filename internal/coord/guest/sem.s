@@ -1,0 +1,36 @@
+; Counting semaphore in guest ISA — the paper's §2.3 test-decrement-retest
+; (TDR) discipline on a fetch-and-add cell. This is the guest-code twin of
+; coord.Semaphore (internal/coord/coord.go): P() spins while the count is
+; <= 0, decrements with faa, and undoes the decrement when it raced another
+; P() below zero; V() is a plain faa +1.
+;
+; PE0 posts a single permit, so the semaphore degenerates to a mutex and
+; the model checker can prove mutual exclusion outright.
+;
+; Layout:
+;   M[0]  semaphore count (1 permit, stored by PE0)
+;   M[1]  holders currently inside the critical section
+;   M[2]  completed P/V pairs
+;
+;mc: invariant M[1] >= 0 && M[1] <= 1
+;mc: final M[0] == 1 && M[1] == 0 && M[2] == npes
+
+        li   r10, 0
+        li   r1, 1
+        li   r2, -1
+        rdpe r3
+        bne  r3, r0, pwait      ; only PE0 posts the permit
+        sts  r1, 0(r10)
+
+pwait:  lds  r4, 0(r10)         ; P(): test
+        bge  r0, r4, pwait      ;   spin while count <= 0
+        faa  r4, 0(r10), r2     ;   decrement
+        blt  r0, r4, enter      ;   old > 0: permit acquired
+        faa  r4, 0(r10), r1     ;   raced below zero: undo, retest
+        jmp  pwait
+
+enter:  faa  r5, 1(r10), r1     ; inside++
+        faa  r5, 1(r10), r2     ; inside--   ;mc: assert r5 == 0
+        faa  r5, 0(r10), r1     ; V(): count++
+        faa  r5, 2(r10), r1     ; completions++
+        halt

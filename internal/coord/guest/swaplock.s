@@ -1,0 +1,29 @@
+; Test-and-set spin lock in guest ISA, built on swp (fetch-and-store) —
+; the guest-code twin of coord.SpinLock (internal/coord/coord.go). Each PE
+; acquires the lock, bumps a holder count through the critical section,
+; tallies a completion and releases with a plain store (swp and sts
+; serialize at the memory module, so no flush is needed).
+;
+; Layout:
+;   M[0]  lock word (0 free, 1 held)
+;   M[1]  holders currently inside the critical section
+;   M[2]  completed acquire/release pairs
+;
+;mc: invariant M[1] >= 0 && M[1] <= 1
+;mc: final M[0] == 0 && M[1] == 0 && M[2] == npes
+;mc: region cs csbeg crit_end
+;mc: noconcur cs cs
+
+        li   r10, 0
+        li   r1, 1
+        li   r2, -1
+
+lock:   swp  r4, 0(r10), r1     ; test-and-set
+        bne  r4, r0, lock       ; already held: spin
+
+csbeg:  faa  r5, 1(r10), r1     ; inside++
+        faa  r5, 1(r10), r2     ; inside--   ;mc: assert r5 == 0
+        faa  r5, 2(r10), r1     ; completions++
+crit_end:
+        sts  r0, 0(r10)         ; release
+        halt

@@ -1,0 +1,65 @@
+package coord_test
+
+// The guest-ISA twins of the coordination algorithms (guest/*.s) carry
+// ;mc: annotations and are proven by the model checker
+// (internal/lint/guest/mc). Here they run on the simulated machine at a
+// PE count far beyond the checker's exhaustive bound, and the same
+// final-state properties must hold dynamically.
+
+import (
+	"os"
+	"testing"
+
+	"ultracomputer/internal/isa"
+	"ultracomputer/internal/machine"
+)
+
+func runGuestPEs(t *testing.T, file string, pes int) *machine.Machine {
+	t.Helper()
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg()
+	c.PEs = pes
+	m, _, err := machine.Load(c, prog, machine.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := m.Run(100_000_000); !done {
+		t.Fatalf("%s: cycle limit reached before all PEs halted", file)
+	}
+	return m
+}
+
+func TestGuestSemaphoreOnMachine(t *testing.T) {
+	const pes = 8
+	m := runGuestPEs(t, "guest/sem.s", pes)
+	if got := m.ReadShared(0); got != 1 {
+		t.Fatalf("final count = %d, want 1", got)
+	}
+	if got := m.ReadShared(1); got != 0 {
+		t.Fatalf("holders inside = %d after join, want 0", got)
+	}
+	if got := m.ReadShared(2); got != pes {
+		t.Fatalf("completions = %d, want %d", got, pes)
+	}
+}
+
+func TestGuestSwapLockOnMachine(t *testing.T) {
+	const pes = 8
+	m := runGuestPEs(t, "guest/swaplock.s", pes)
+	if got := m.ReadShared(0); got != 0 {
+		t.Fatalf("lock word = %d after release, want 0", got)
+	}
+	if got := m.ReadShared(1); got != 0 {
+		t.Fatalf("holders inside = %d after join, want 0", got)
+	}
+	if got := m.ReadShared(2); got != pes {
+		t.Fatalf("completions = %d, want %d", got, pes)
+	}
+}

@@ -72,6 +72,7 @@ func Assemble(src string) (*Program, error) {
 			patches = append(patches, patch{len(p.Instrs), labelArg, lineNo})
 		}
 		p.Instrs = append(p.Instrs, in)
+		p.Lines = append(p.Lines, lineNo+1)
 	}
 
 	for _, pt := range patches {

@@ -137,4 +137,18 @@ func (i Instr) String() string {
 type Program struct {
 	Instrs []Instr
 	Labels map[string]int
+	// Lines maps each instruction to its 1-based source line, when the
+	// program came through Assemble (nil for hand-built programs). The
+	// guest lint and model checker use it to report positions, and the
+	// `;mc:` annotation parser uses it to attach per-line assertions.
+	Lines []int
+}
+
+// Line reports the 1-based source line of the instruction at pc, or 0
+// when the program carries no line table.
+func (p *Program) Line(pc int) int {
+	if pc < 0 || pc >= len(p.Lines) {
+		return 0
+	}
+	return p.Lines[pc]
 }

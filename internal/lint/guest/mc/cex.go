@@ -1,0 +1,61 @@
+package mc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Counterexamples travel as JSONL: one Violation object per line, so a
+// run over many programs appends to one stream and the replay harness
+// (and jq) consume it line by line.
+
+// WriteCex appends the violation as one JSON line.
+func WriteCex(w io.Writer, v *Violation) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadCex parses a JSONL counterexample stream.
+func ReadCex(r io.Reader) ([]*Violation, error) {
+	var out []*Violation
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		v := &Violation{}
+		if err := json.Unmarshal(sc.Bytes(), v); err != nil {
+			return nil, fmt.Errorf("cex line %d: %v", line, err)
+		}
+		out = append(out, v)
+	}
+	return out, sc.Err()
+}
+
+// CheckFile reads, assembles and checks one .s file; the violation (if
+// any) carries the file name.
+func CheckFile(path string, opts Options) (*Result, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	res, err := CheckSource(string(src), opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if res.Violation != nil {
+		res.Violation.Program = path
+	}
+	return res, nil
+}

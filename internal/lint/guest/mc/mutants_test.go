@@ -1,0 +1,75 @@
+package mc
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The mutation suite, both directions: every seeded-bug variant must be
+// flagged, and every pristine program must come out clean (see
+// smoke_test.go for the examples side of the pristine direction). Kinds
+// are sets because different bounds can surface a different facet of
+// the same bug first.
+func TestMutantsFlagged(t *testing.T) {
+	cases := []struct {
+		file  string
+		pes   int
+		kinds []Kind // acceptable violation kinds
+	}{
+		{"barrier_dropped_release.s", 2, []Kind{KindDeadlock}},
+		{"barrier_dropped_release.s", 3, []Kind{KindDeadlock}},
+		{"barrier_off_by_one.s", 2, []Kind{KindDeadlock}},
+		{"barrier_off_by_one.s", 3, []Kind{KindDeadlock}},
+		{"queue_faa_swapped.s", 2, []Kind{KindFinal, KindDeadlock}},
+		{"queue_turn_off_by_one.s", 2, []Kind{KindFinal, KindDeadlock}},
+		{"rw_no_recheck.s", 2, []Kind{KindNoConcur, KindInvariant}},
+		{"handoff_noflush.s", 2, []Kind{KindFinal}},
+	}
+	for _, tc := range cases {
+		name := filepath.Base(tc.file)
+		t.Run(name, func(t *testing.T) {
+			res, err := CheckFile(filepath.Join("../../testdata", tc.file), Options{PEs: tc.pes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Exhausted {
+				t.Fatalf("state budget exhausted at %d states", res.States)
+			}
+			if res.Violation == nil {
+				t.Fatalf("mutant not flagged (states=%d)", res.States)
+			}
+			ok := false
+			for _, k := range tc.kinds {
+				if res.Violation.Kind == k {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("violation kind %q, want one of %v: %s",
+					res.Violation.Kind, tc.kinds, res.Violation.Message)
+			}
+			if len(res.Violation.Steps) == 0 {
+				t.Fatalf("violation has no counterexample schedule")
+			}
+			t.Logf("N=%d: %s (%d states, %d-step schedule)",
+				res.PEs, res.Violation.Message, res.States, len(res.Violation.Steps))
+		})
+	}
+}
+
+// The pristine fixture must be clean — the missing-flush mutant's bug is
+// in the mutation, not in the fixture's shape.
+func TestHandoffPristineClean(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		res, err := CheckFile("../../testdata/handoff.s", Options{PEs: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("N=%d: unexpected violation: %s", n, res.Violation.Message)
+		}
+		if res.Exhausted {
+			t.Fatalf("N=%d: state budget exhausted", n)
+		}
+	}
+}

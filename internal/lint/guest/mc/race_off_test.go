@@ -1,0 +1,7 @@
+//go:build !race
+
+package mc
+
+// raceEnabled reports whether the race detector is active; the build-tag
+// pair lets tests shrink exploration bounds under its ~10x slowdown.
+const raceEnabled = false

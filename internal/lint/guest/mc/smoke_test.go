@@ -1,0 +1,57 @@
+package mc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// heavyAtThree names the programs whose N=3 state space runs to seconds
+// (hundreds of thousands of states); under the race detector those
+// explorations would dominate the whole suite, so they drop to N=2 there.
+// The full N=3 proofs still run on every plain `go test` and `make verify`.
+var heavyAtThree = map[string]bool{
+	"queue.s": true,
+	"rw.s":    true,
+}
+
+// Exploration smoke: every shipped example and every coord guest program
+// must check out clean at the bounds the issue names, within the state
+// budget.
+func TestExamplesClean(t *testing.T) {
+	files, err := filepath.Glob("../../../../examples/asm/*.s")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no examples found: %v", err)
+	}
+	guests, err := filepath.Glob("../../../coord/guest/*.s")
+	if err != nil || len(guests) == 0 {
+		t.Fatalf("no coord guest programs found: %v", err)
+	}
+	files = append(files, guests...)
+	for _, f := range files {
+		for _, n := range []int{2, 3} {
+			name := filepath.Base(f)
+			t.Run(fmt.Sprintf("%s-n%d", name, n), func(t *testing.T) {
+				if raceEnabled && n == 3 && heavyAtThree[name] {
+					t.Skipf("%s at N=3 explores >500k states; skipped under -race", name)
+				}
+				src, err := os.ReadFile(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := CheckSource(string(src), Options{PEs: n})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("%s N=%d: states=%d elapsed=%s exhausted=%v", name, res.PEs, res.States, res.Elapsed, res.Exhausted)
+				if res.Exhausted {
+					t.Fatalf("state budget exhausted at %d states", res.States)
+				}
+				if res.Violation != nil {
+					t.Fatalf("unexpected violation: %s\nschedule: %v", res.Violation.Message, res.Violation.Steps)
+				}
+			})
+		}
+	}
+}

@@ -1,3 +1,8 @@
+; MUTANT of barrier.s (seeded bug, for guestmc tests): the last arrival
+; resets the count but never bumps the generation cell — the release is
+; dropped, so every other PE spins on an unchanging generation forever.
+; Expected guestmc verdict: deadlock.
+;
 ; barrier.s — a reusable fetch-and-add barrier written directly in
 ; Ultracomputer assembly (no critical sections): arrivals fetch-and-add a
 ; counter; the last arrival resets it and bumps the generation cell the
@@ -36,8 +41,7 @@ loop:   beq  r23, r24, done
         lds  r9, 0(r21)     ; ...and read it back: the PNI's one-
                             ; outstanding-per-location rule makes this
                             ; load wait for the store, fencing the reset
-        faa  r7, 0(r22), r2 ; release the others
-        jmp  next
+        jmp  next           ; BUG: release faa on the generation dropped
 spin:   lds  r8, 0(r22)
         beq  r8, r4, spin   ; generation unchanged: keep waiting
 next:   addi r23, r23, 1

@@ -1,3 +1,8 @@
+; MUTANT of barrier.s (seeded bug, for guestmc tests): the "am I last?"
+; comparison is off by one — it tests the arrival count against P
+; instead of P-1, so no PE ever believes it is last and the whole
+; machine spins at the first barrier. Expected guestmc verdict: deadlock.
+;
 ; barrier.s — a reusable fetch-and-add barrier written directly in
 ; Ultracomputer assembly (no critical sections): arrivals fetch-and-add a
 ; counter; the last arrival resets it and bumps the generation cell the
@@ -30,7 +35,7 @@ loop:   beq  r23, r24, done
         ; ---- barrier ----
         lds  r4, 0(r22)     ; my generation
         faa  r5, 0(r21), r2 ; arrive
-        addi r6, r20, -1
+        addi r6, r20, 0     ; BUG: off by one — should be P-1
         bne  r5, r6, spin   ; not last: wait
         sts  r0, 0(r21)     ; last: reset count...
         lds  r9, 0(r21)     ; ...and read it back: the PNI's one-

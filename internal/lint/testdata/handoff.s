@@ -1,0 +1,35 @@
+; handoff.s — a minimal cached producer/consumer hand-off (§3.4's
+; flush-before-publish discipline, as a guestmc fixture): PE 0 writes the
+; datum through its write-back cache, flushes it to central memory, and
+; only then raises the ready flag with an uncached store. Consumers spin
+; on the flag and copy the datum out. Dropping the flush (see
+; handoff_noflush.s) publishes the flag while the datum still sits dirty
+; in the producer's cache.
+;
+; Cells: M[100] datum   M[101] ready flag   M[102] consumer's copy
+;
+;mc: final M[102] == 42
+
+        rdpe r1
+        bne  r1, r0, consumer
+
+; ---------- producer (PE 0) ----------
+        li   r2, 42
+        li   r3, 100        ; &datum
+        li   r4, 101        ; &flag (and the flush range's end)
+        csts r2, 0(r3)      ; cached write of the datum
+        cflu r3, r4         ; flush [100, 101) to central memory
+        li   r5, 1
+        sts  r5, 0(r4)      ; publish
+        halt
+
+; ---------- consumers ----------
+consumer:
+        li   r3, 100
+        li   r4, 101
+wait:   lds  r6, 0(r4)
+        beq  r6, r0, wait   ; spin until published
+        lds  r7, 0(r3)      ; read the datum from central memory
+        li   r8, 102
+        sts  r7, 0(r8)
+        halt

@@ -1,0 +1,31 @@
+; MUTANT of handoff.s (seeded bug, for guestmc tests): the producer
+; publishes the ready flag without flushing the cached datum, so central
+; memory still holds zero when the consumers read it. Expected guestmc
+; verdict: final-state violation (the consumer copies 0, not 42).
+;
+; Cells: M[100] datum   M[101] ready flag   M[102] consumer's copy
+;
+;mc: final M[102] == 42
+
+        rdpe r1
+        bne  r1, r0, consumer
+
+; ---------- producer (PE 0) ----------
+        li   r2, 42
+        li   r3, 100        ; &datum
+        li   r4, 101        ; &flag
+        csts r2, 0(r3)      ; cached write of the datum
+        li   r5, 1          ; BUG: no cflu before the publish
+        sts  r5, 0(r4)
+        halt
+
+; ---------- consumers ----------
+consumer:
+        li   r3, 100
+        li   r4, 101
+wait:   lds  r6, 0(r4)
+        beq  r6, r0, wait   ; spin until published
+        lds  r7, 0(r3)      ; read the datum from central memory
+        li   r8, 102
+        sts  r7, 0(r8)
+        halt

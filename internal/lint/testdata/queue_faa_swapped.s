@@ -1,3 +1,10 @@
+; MUTANT of queue.s (seeded bug, for guestmc tests): the insert-side
+; fetch-and-add has its destination and operand registers swapped, so
+; the bound counter is bumped by a stale scratch value and the constant
+; one in r3 is clobbered with the counter's old value. Every later F&A
+; in the program then adds the wrong amount. Expected guestmc verdict:
+; final-state violation (the counters and the tally come out wrong).
+;
 ; queue.s — the paper's appendix, in assembly: the completely parallel
 ; bounded FIFO queue with the test-increment-retest (TIR) and
 ; test-decrement-retest (TDR) guards. Every PE inserts one value
@@ -31,7 +38,7 @@
 ins:    lds  r4, 0(r12)      ; test: #Qu + 1 <= Size?
         addi r4, r4, 1
         blt  r14, r4, ins    ; over bound: retry (QueueOverflow -> spin)
-        faa  r5, 0(r12), r3  ; increment
+        faa  r3, 0(r12), r5  ; BUG: operands swapped (was faa r5, 0(r12), r3)
         addi r5, r5, 1
         sle  r6, r5, r14     ; retest
         bne  r6, r0, insok

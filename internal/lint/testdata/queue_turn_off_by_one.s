@@ -1,3 +1,9 @@
+; MUTANT of queue.s (seeded bug, for guestmc tests): the delete side
+; waits for turn == 2*round instead of 2*round + 1 — off by one in the
+; announce protocol, so a deleter either takes a slot before its datum
+; is written or waits for a turn value that never comes. Expected
+; guestmc verdict: deadlock (or a wrong tally, depending on schedule).
+;
 ; queue.s — the paper's appendix, in assembly: the completely parallel
 ; bounded FIFO queue with the test-increment-retest (TIR) and
 ; test-decrement-retest (TDR) guards. Every PE inserts one value
@@ -64,8 +70,8 @@ del:    lds  r4, 0(r13)      ; test: #Qi - 1 >= 0?
 delok:  faa  r9, 0(r11), r3  ; MyD = FetchAdd(D, 1)
         mod  r17, r9, r14
         div  r18, r9, r14
-        add  r19, r18, r18
-        addi r19, r19, 1     ; readable when turn == 2*round + 1
+        add  r19, r18, r18   ; BUG: missing addi — waits for 2*round, the
+                             ; writable turn, instead of 2*round + 1
         add  r20, r15, r17
 delw:   lds  r21, 0(r20)     ; wait turn at MyD
         bne  r21, r19, delw

@@ -1,3 +1,9 @@
+; MUTANT of rw.s (seeded bug, for guestmc tests): the reader skips the
+; recheck after its tentative fetch-and-add entry, so a writer admitted
+; between the reader's test and its entry shares the data pair with an
+; active snapshot. Expected guestmc verdict: mutual-exclusion (noconcur)
+; violation between the writer's critical section and a snapshot.
+;
 ; rw.s — the readers–writers coordination of §2.3 in assembly: during
 ; periods with no writer active, readers execute no serial code at all —
 ; reader entry and exit are one fetch-and-add plus a recheck. The writer,
@@ -69,11 +75,7 @@ rloop:  beq  r6, r5, done
 ; RLock(): spin while a writer is admitted, enter, recheck
 rlock:  lds  r7, 0(r21)
         bne  r7, r0, rlock
-        faa  r8, 0(r20), r3 ; tentatively enter
-        lds  r7, 0(r21)     ; recheck
-        beq  r7, r0, rgo
-        faa  r8, 0(r20), r4 ; a writer slipped in: back out
-        jmp  rlock
+        faa  r8, 0(r20), r3 ; enter — BUG: recheck of W dropped
 rgo:    lds  r9, 0(r10)     ; snapshot both halves
         lds  r14, 0(r11)
         sne  r15, r9, r14   ; torn iff the halves differ

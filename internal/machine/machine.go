@@ -83,6 +83,12 @@ type Machine struct {
 	eng     engine.Engine
 	stepper *network.Stepper
 
+	// solo, when >= 0, restricts PE ticks to that one PE (replies still
+	// deliver to everyone) — the schedule-driven stepping hook StepPE
+	// uses it to serialize instruction execution for counterexample
+	// replay. -1 is normal operation.
+	solo int
+
 	// idealPending holds replies generated under IdealMemory during
 	// this cycle, delivered at the start of the next (one-cycle
 	// paracomputer access).
@@ -126,7 +132,7 @@ func New(cfg Config, cores []pe.Core) *Machine {
 	if len(cores) > cfg.PEs {
 		panic(fmt.Sprintf("machine: %d cores for %d PEs", len(cores), cfg.PEs))
 	}
-	m := &Machine{cfg: cfg, net: network.New(cfg.Net)}
+	m := &Machine{cfg: cfg, net: network.New(cfg.Net), solo: -1}
 	var h memory.Hasher
 	if cfg.Hashing {
 		h = memory.MultHash{N: ports}
@@ -292,6 +298,9 @@ func (m *Machine) ensureStepper() {
 	}
 	m.tickFn = func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
+			if m.solo >= 0 && i != m.solo {
+				continue
+			}
 			m.pes[i].Tick(m.peCycles, len(m.pes))
 		}
 	}
