@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet lint verify test race bench bench-guard equivalence trace-smoke clean
+.PHONY: ci build vet lint verify test race bench bench-guard equivalence trace-smoke prof clean
 
-ci: vet lint verify build race test equivalence bench-guard
+ci: vet lint verify build race test equivalence bench-guard prof
 
 build:
 	$(GO) build ./...
@@ -40,12 +40,14 @@ test:
 
 # Simulator performance benchmark: the Figure 7 candidate switch shapes
 # under fixed seeded loads, request-tracing overhead rows (tracer off /
-# attached-at-rate-0 / sampled-1%), plus the serial-vs-parallel engine
+# attached-at-rate-0 / sampled-1%), guest-profiler overhead rows
+# (bare / attached-but-disabled / enabled, on both the synthetic driver
+# and a real 8-PE machine run), plus the serial-vs-parallel engine
 # scaling matrix on a 256-port machine, written as JSON for
 # commit-over-commit comparison (speedups are only meaningful on
 # multi-core hosts; the file records host_cpus).
 bench:
-	$(GO) run ./cmd/netperf -bench BENCH_PR6.json
+	$(GO) run ./cmd/netperf -bench BENCH_PR8.json
 
 # Engine equivalence: the serial and parallel engines must produce
 # byte-identical traces, metrics, reports and final state. Run under
@@ -64,6 +66,18 @@ bench-guard:
 	$(GO) test ./internal/obs/ -run 'ZeroAlloc' -count=1 -v
 	$(GO) test ./internal/machine/ -run 'ZeroAlloc' -count=1 -v
 
+# Guest-profiler smoke: profile queue.s end to end in both export
+# formats, then validate each round-trips non-empty through its own
+# reader (the pprof path re-parses the gzipped protobuf wire format go
+# tool pprof consumes).
+prof: build
+	$(GO) run ./cmd/ultrasim -pes 8 -reqtrace 1 \
+		-prof-out /tmp/ultraprof.pb.gz examples/asm/queue.s > /dev/null
+	$(GO) run ./cmd/ultrasim -pes 8 -reqtrace 1 \
+		-prof-out /tmp/ultraprof.jsonl examples/asm/queue.s > /dev/null
+	$(GO) run ./cmd/tables -prof /tmp/ultraprof.pb.gz -prof-check
+	$(GO) run ./cmd/tables -prof /tmp/ultraprof.jsonl -prof-check
+
 # End-to-end smoke: produce a Chrome trace and a metrics series from the
 # shipped examples (outputs land in /tmp).
 trace-smoke: build
@@ -73,4 +87,5 @@ trace-smoke: build
 		-metrics /tmp/netperf-hotspot.jsonl
 
 clean:
-	rm -f /tmp/ultrasim-trace.json /tmp/ultrasim-metrics.jsonl /tmp/netperf-hotspot.jsonl
+	rm -f /tmp/ultrasim-trace.json /tmp/ultrasim-metrics.jsonl /tmp/netperf-hotspot.jsonl \
+		/tmp/ultraprof.pb.gz /tmp/ultraprof.jsonl

@@ -24,9 +24,12 @@ import (
 
 	"ultracomputer/internal/analytic"
 	"ultracomputer/internal/engine"
+	"ultracomputer/internal/isa"
+	"ultracomputer/internal/machine"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
 	"ultracomputer/internal/obs/live"
+	"ultracomputer/internal/obs/prof"
 	"ultracomputer/internal/obs/reqtrace"
 	"ultracomputer/internal/sim"
 	"ultracomputer/internal/trace"
@@ -261,6 +264,9 @@ type benchRow struct {
 	ReqtraceRate float64 `json:"reqtrace_rate,omitempty"`
 	Spans        int64   `json:"spans,omitempty"`
 	Speedup      float64 `json:"speedup_vs_serial,omitempty"`
+	// OverheadPct is the wall-clock cost relative to the matching
+	// baseline row (profiler rows only).
+	OverheadPct  float64 `json:"overhead_pct,omitempty"`
 	Cycles       int64   `json:"cycles"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
@@ -304,11 +310,11 @@ func bench(path string) error {
 		}
 		return stages
 	}
-	runOne := func(cfg network.Config, name string, copies int, rate float64, warmup, measure int64, eng engine.Engine, engName string, workers int, tr *reqtrace.Tracer) (benchRow, error) {
+	runOne := func(cfg network.Config, name string, copies int, rate float64, warmup, measure int64, eng engine.Engine, engName string, workers int, tr *reqtrace.Tracer, pf *prof.Profiler) (benchRow, error) {
 		if err := cfg.Validate(); err != nil {
 			return benchRow{}, err
 		}
-		w := trace.Workload{Rate: rate, Hash: true, Seed: 17, Tracer: tr}
+		w := trace.Workload{Rate: rate, Hash: true, Seed: 17, Tracer: tr, Profiler: pf}
 		start := time.Now()
 		r := trace.RunEngine(cfg, w, warmup, measure, eng)
 		wall := time.Since(start).Seconds()
@@ -334,7 +340,7 @@ func bench(path string) error {
 	for _, s := range shapes {
 		cfg := network.Config{K: s.k, Stages: stagesFor(s.k, ports), Copies: s.copies, Combining: true}
 		for _, rate := range []float64{0.10, 0.20} {
-			row, err := runOne(cfg, s.name, s.copies, rate, warmup, measure, nil, "serial", 0, nil)
+			row, err := runOne(cfg, s.name, s.copies, rate, warmup, measure, nil, "serial", 0, nil, nil)
 			if err != nil {
 				return err
 			}
@@ -352,12 +358,38 @@ func bench(path string) error {
 		rate float64
 	}{{"k2-d1+tr0", 0}, {"k2-d1+tr1%", 0.01}} {
 		tr := reqtrace.New(reqtrace.Config{Rate: tc.rate})
-		row, err := runOne(trCfg, tc.name, 1, 0.20, warmup, measure, nil, "serial", 0, tr)
+		row, err := runOne(trCfg, tc.name, 1, 0.20, warmup, measure, nil, "serial", 0, tr, nil)
 		if err != nil {
 			return err
 		}
 		rows = append(rows, row)
 	}
+
+	// Profiler overhead on the synthetic workload: attached-but-disabled
+	// (every hook site sees a nil sink — should cost nothing) and fully
+	// enabled (heatmap + combine recording on every request).
+	for _, pc := range []struct {
+		name string
+		on   bool
+	}{{"k2-d1+prof-off", false}, {"k2-d1+prof", true}} {
+		pf := prof.New(prof.Config{PEs: ports})
+		pf.SetEnabled(pc.on)
+		row, err := runOne(trCfg, pc.name, 1, 0.20, warmup, measure, nil, "serial", 0, nil, pf)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+
+	// Guest-machine profiler overhead: a hot-spot fetch-and-add loop on
+	// 8 PEs, run bare, with the profiler attached but disabled, and with
+	// it enabled. OverheadPct on the prof rows is relative to the bare
+	// row — the "<5% enabled, zero when off" contract.
+	guestRows, err := benchGuest()
+	if err != nil {
+		return err
+	}
+	rows = append(rows, guestRows...)
 
 	// Engine scaling matrix on the large machine.
 	const (
@@ -367,14 +399,14 @@ func bench(path string) error {
 		bigRate    = 0.20
 	)
 	bigCfg := network.Config{K: 2, Stages: stagesFor(2, bigPorts), Combining: true}
-	serialRow, err := runOne(bigCfg, "k2-big", 1, bigRate, bigWarmup, bigMeasure, nil, "serial", 0, nil)
+	serialRow, err := runOne(bigCfg, "k2-big", 1, bigRate, bigWarmup, bigMeasure, nil, "serial", 0, nil, nil)
 	if err != nil {
 		return err
 	}
 	rows = append(rows, serialRow)
 	for _, w := range []int{2, 4, 8} {
 		eng := engine.NewParallel(w)
-		row, err := runOne(bigCfg, "k2-big", 1, bigRate, bigWarmup, bigMeasure, eng, "parallel", w, nil)
+		row, err := runOne(bigCfg, "k2-big", 1, bigRate, bigWarmup, bigMeasure, eng, "parallel", w, nil, nil)
 		eng.Close()
 		if err != nil {
 			return err
@@ -396,6 +428,72 @@ func bench(path string) error {
 			Rows       []benchRow `json:"rows"`
 		}{ports, warmup, measure, 17, runtime.NumCPU(), runtime.GOMAXPROCS(0), rows})
 	})
+}
+
+// benchGuest measures the guest profiler's wall-clock cost on a real
+// machine run (not the synthetic driver): 8 PEs hammering one shared
+// word with fetch-and-adds through a combining k=2, 4-stage network.
+// Each configuration takes the best of three runs to shed scheduler
+// noise.
+func benchGuest() ([]benchRow, error) {
+	prog := isa.MustAssemble(`
+        li   r1, 100
+        li   r2, 1
+        li   r6, 20000
+loop:   faa  r3, 0(r1), r2
+        add  r4, r4, r3
+        addi r5, r5, 1
+        blt  r5, r6, loop
+        halt
+`)
+	run := func(name string, attach, on bool) (benchRow, error) {
+		var best benchRow
+		for rep := 0; rep < 3; rep++ {
+			cfg := machine.Config{
+				Net:     network.Config{K: 2, Stages: 4, Combining: true},
+				Hashing: true,
+				PEs:     8,
+			}
+			m, _, err := machine.Load(cfg, prog, machine.LoadOptions{})
+			if err != nil {
+				return benchRow{}, err
+			}
+			if attach {
+				pf := prof.New(prof.Config{PEs: 8, Programs: []*isa.Program{prog}, File: "bench.s"})
+				pf.SetEnabled(on)
+				m.SetProfiler(pf)
+			}
+			start := time.Now()
+			m.MustRun(100_000_000)
+			wall := time.Since(start).Seconds()
+			if rep == 0 || wall < best.WallSeconds {
+				best = benchRow{
+					Config: name, K: 2, Copies: 1, Ports: 16,
+					Engine: "serial", Cycles: m.Cycles(),
+					WallSeconds: wall, CyclesPerSec: float64(m.Cycles()) / wall,
+				}
+			}
+		}
+		return best, nil
+	}
+	base, err := run("guest", false, false)
+	if err != nil {
+		return nil, err
+	}
+	rows := []benchRow{base}
+	for _, pc := range []struct {
+		name string
+		on   bool
+	}{{"guest+prof-off", false}, {"guest+prof", true}} {
+		row, err := run(pc.name, true, pc.on)
+		if err != nil {
+			return nil, err
+		}
+		row.OverheadPct = 100 * (row.WallSeconds - base.WallSeconds) / base.WallSeconds
+		fmt.Printf("%-15s %8.0f cycles/s  overhead %+.1f%%\n", row.Config, row.CyclesPerSec, row.OverheadPct)
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 func writeFile(path string, emit func(io.Writer) error) error {

@@ -34,7 +34,17 @@ func main() {
 	from := flag.String("from", "", "render a one-shot dashboard from a running telemetry server (host:port or URL) instead of regenerating tables")
 	spansIn := flag.String("spans", "", "render a request-trace span dump (ultrasim/netperf -spans or a flight-<cycle>.jsonl) as ASCII waterfalls instead of regenerating tables")
 	spanLimit := flag.Int("span-limit", 5, "how many trees -spans renders, slowest first (0 = all)")
+	profIn := flag.String("prof", "", "render a guest profile (ultrasim -prof-out, JSONL or .pb.gz) instead of regenerating tables")
+	profCheck := flag.Bool("prof-check", false, "with -prof, validate the profile round-trips non-empty instead of rendering (exit 1 otherwise)")
 	flag.Parse()
+
+	if *profIn != "" {
+		if err := runProf(os.Stdout, *profIn, *profCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *spansIn != "" {
 		if err := runSpans(os.Stdout, *spansIn, *spanLimit); err != nil {

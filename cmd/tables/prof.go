@@ -1,0 +1,333 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"ultracomputer/internal/obs/prof"
+)
+
+// runProf renders a guest profile written by ultrasim -prof-out: either
+// the JSONL form (full annotated view — per-line source heat, function
+// rollup, contention heatmap, lock waits, critical paths) or the
+// gzipped pprof protobuf (decoded to a top-functions table). check adds
+// a validation pass that fails on an empty or inconsistent profile —
+// the `make prof` smoke test.
+func runProf(w io.Writer, path string, check bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		return renderPprof(w, path, data, check)
+	}
+	return renderProfJSONL(w, path, data, check)
+}
+
+// renderPprof decodes our own pprof output back through the wire format
+// — the same bytes go tool pprof consumes — and prints the per-function
+// cycle totals.
+func renderPprof(w io.Writer, path string, data []byte, check bool) error {
+	pp, err := prof.ParsePprof(data)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	total := pp.TotalValue()
+	if check {
+		if total <= 0 || len(pp.Samples) == 0 || len(pp.Functions) == 0 {
+			return fmt.Errorf("%s: profile is empty after pprof round-trip (total=%d samples=%d funcs=%d)",
+				path, total, len(pp.Samples), len(pp.Functions))
+		}
+		fmt.Fprintf(w, "%s: pprof round-trip ok: %d cycles, %d samples, %d functions\n",
+			path, total, len(pp.Samples), len(pp.Functions))
+		return nil
+	}
+	type agg struct {
+		name   string
+		cycles int64
+	}
+	byFn := map[string]*agg{}
+	byState := map[string]int64{}
+	for i := range pp.Samples {
+		s := &pp.Samples[i]
+		v := int64(0)
+		if len(s.Values) > 0 {
+			v = s.Values[0]
+		}
+		name := pp.FuncName(s)
+		a := byFn[name]
+		if a == nil {
+			a = &agg{name: name}
+			byFn[name] = a
+		}
+		a.cycles += v
+		byState[s.Labels["state"]] += v
+	}
+	rows := make([]*agg, 0, len(byFn))
+	for _, a := range byFn {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cycles != rows[j].cycles {
+			return rows[i].cycles > rows[j].cycles
+		}
+		return rows[i].name < rows[j].name
+	})
+	fmt.Fprintf(w, "guest profile %s: %d cycles (pprof; run tables -prof on the JSONL export for source annotation)\n\n", path, total)
+	fmt.Fprintf(w, "%-30s %12s %7s\n", "function", "cycles", "%")
+	for _, a := range rows {
+		fmt.Fprintf(w, "%-30s %12d %6.1f%%\n", a.name, a.cycles, pct(a.cycles, total))
+	}
+	fmt.Fprintf(w, "\nby state:\n")
+	states := make([]string, 0, len(byState))
+	for s := range byState {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(w, "  %-15s %12d %6.1f%%\n", s, byState[s], pct(byState[s], total))
+	}
+	return nil
+}
+
+// profDump is the parsed JSONL stream.
+type profDump struct {
+	File   string
+	PEs    int
+	Total  int64
+	States []string
+	Src    map[int]string
+	PERows []prof.PERow
+	Funcs  []prof.FuncRow
+	PCs    []prof.PCRow
+	Addrs  []prof.AddrRow
+	Locks  []prof.LockRow
+	Paths  []prof.CriticalPath
+}
+
+func parseProfJSONL(data []byte) (*profDump, error) {
+	d := &profDump{Src: map[int]string{}}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &head); err != nil {
+			return nil, fmt.Errorf("line %d: %v", n, err)
+		}
+		var err error
+		switch head.Type {
+		case "meta":
+			var m struct {
+				File        string   `json:"file"`
+				PEs         int      `json:"pes"`
+				TotalCycles int64    `json:"total_cycles"`
+				States      []string `json:"states"`
+			}
+			if err = json.Unmarshal([]byte(line), &m); err == nil {
+				d.File, d.PEs, d.Total, d.States = m.File, m.PEs, m.TotalCycles, m.States
+			}
+		case "src":
+			var s struct {
+				Line int    `json:"line"`
+				Text string `json:"text"`
+			}
+			if err = json.Unmarshal([]byte(line), &s); err == nil {
+				d.Src[s.Line] = s.Text
+			}
+		case "pe":
+			var r prof.PERow
+			if err = json.Unmarshal([]byte(line), &r); err == nil {
+				d.PERows = append(d.PERows, r)
+			}
+		case "func":
+			var r prof.FuncRow
+			if err = json.Unmarshal([]byte(line), &r); err == nil {
+				d.Funcs = append(d.Funcs, r)
+			}
+		case "pc":
+			var r prof.PCRow
+			if err = json.Unmarshal([]byte(line), &r); err == nil {
+				d.PCs = append(d.PCs, r)
+			}
+		case "addr":
+			var r prof.AddrRow
+			if err = json.Unmarshal([]byte(line), &r); err == nil {
+				d.Addrs = append(d.Addrs, r)
+			}
+		case "lock":
+			var r prof.LockRow
+			if err = json.Unmarshal([]byte(line), &r); err == nil {
+				d.Locks = append(d.Locks, r)
+			}
+		case "path":
+			var r prof.CriticalPath
+			if err = json.Unmarshal([]byte(line), &r); err == nil {
+				d.Paths = append(d.Paths, r)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("line %d (%s): %v", n, head.Type, err)
+		}
+	}
+	return d, sc.Err()
+}
+
+func renderProfJSONL(w io.Writer, path string, data []byte, check bool) error {
+	d, err := parseProfJSONL(data)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if check {
+		var peSum int64
+		for _, r := range d.PERows {
+			peSum += r.Total
+		}
+		if d.Total <= 0 || peSum != d.Total || len(d.Funcs) == 0 {
+			return fmt.Errorf("%s: inconsistent profile (total=%d pe-sum=%d funcs=%d)",
+				path, d.Total, peSum, len(d.Funcs))
+		}
+		fmt.Fprintf(w, "%s: profile ok: %d cycles over %d PEs, %d functions, %d hot words\n",
+			path, d.Total, d.PEs, len(d.Funcs), len(d.Addrs))
+		return nil
+	}
+
+	fmt.Fprintf(w, "guest profile %s: %d cycles across %d PEs\n\n", d.File, d.Total, d.PEs)
+
+	// Machine-wide state breakdown.
+	var states []int64
+	for _, r := range d.PERows {
+		for s, v := range r.States {
+			for len(states) <= s {
+				states = append(states, 0)
+			}
+			states[s] += v
+		}
+	}
+	fmt.Fprintln(w, "where the cycles went:")
+	for s, v := range states {
+		if v == 0 {
+			continue
+		}
+		name := fmt.Sprintf("state%d", s)
+		if s < len(d.States) {
+			name = d.States[s]
+		}
+		fmt.Fprintf(w, "  %-15s %12d %6.1f%%  %s\n", name, v, pct(v, d.Total), profBar(v, d.Total, 40))
+	}
+
+	fmt.Fprintln(w, "\nfunctions (cycles; flat = leaf pc in span, cum = plus callees):")
+	fmt.Fprintf(w, "  %-28s %12s %7s %12s\n", "name", "flat", "%", "cum")
+	for i, f := range d.Funcs {
+		if i == 12 {
+			fmt.Fprintf(w, "  ... %d more\n", len(d.Funcs)-i)
+			break
+		}
+		fmt.Fprintf(w, "  %-28s %12d %6.1f%% %12d\n", f.Name, f.Flat, pct(f.Flat, d.Total), f.Cum)
+	}
+
+	// Annotated source: per-line totals from the pc rows.
+	if len(d.Src) > 0 && len(d.PCs) > 0 {
+		byLine := map[int]int64{}
+		spin := map[int]int64{}
+		for _, r := range d.PCs {
+			byLine[r.Line] += r.Total
+			if len(r.States) > int(4) {
+				spin[r.Line] += r.States[4] // obs.ProfSpin
+			}
+		}
+		lines := make([]int, 0, len(d.Src))
+		for ln := range d.Src {
+			lines = append(lines, ln)
+		}
+		sort.Ints(lines)
+		fmt.Fprintln(w, "\nannotated source (cycles | spin | line):")
+		for _, ln := range lines {
+			c, sp := byLine[ln], spin[ln]
+			cc, ss := "", ""
+			if c > 0 {
+				cc = fmt.Sprintf("%d", c)
+			}
+			if sp > 0 {
+				ss = fmt.Sprintf("%d", sp)
+			}
+			fmt.Fprintf(w, "  %10s %8s  %4d  %s\n", cc, ss, ln, d.Src[ln])
+		}
+	}
+
+	if len(d.Addrs) > 0 {
+		rows := append([]prof.AddrRow(nil), d.Addrs...)
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].Accesses > rows[j].Accesses })
+		fmt.Fprintln(w, "\ncontention heatmap (hottest shared words):")
+		fmt.Fprintf(w, "  %8s %4s %6s %10s %8s %8s %8s %10s\n",
+			"addr", "mm", "word", "accesses", "rmw", "served", "combines", "wait")
+		for i, r := range rows {
+			if i == 10 {
+				fmt.Fprintf(w, "  ... %d more\n", len(rows)-i)
+				break
+			}
+			addr := fmt.Sprintf("%d", r.Addr)
+			if r.Addr < 0 {
+				addr = "?" // learned only from the MM/network side
+			}
+			fmt.Fprintf(w, "  %8s %4d %6d %10d %8d %8d %8d %10d\n",
+				addr, r.MM, r.Word, r.Accesses, r.RMW, r.Served, r.Combines, r.WaitCycles)
+		}
+	}
+
+	if len(d.Locks) > 0 {
+		fmt.Fprintln(w, "\nlock/barrier wait distributions (per F&A cell, cycles):")
+		fmt.Fprintf(w, "  %8s %8s %10s %6s %6s %6s\n", "addr", "n", "mean", "p50", "p90", "p99")
+		for _, l := range d.Locks {
+			fmt.Fprintf(w, "  %8d %8d %10.1f %6d %6d %6d\n", l.Addr, l.N, l.MeanWait, l.P50, l.P90, l.P99)
+		}
+	}
+
+	for i, cp := range d.Paths {
+		if i == 0 {
+			fmt.Fprintln(w, "\ntop slow paths (longest dependent chain per combining tree):")
+		}
+		if i == 5 {
+			fmt.Fprintf(w, "  ... %d more\n", len(d.Paths)-i)
+			break
+		}
+		fmt.Fprintf(w, "  #%d  MM %d word %d: %d cycles over %d spans (chain depth %d)\n",
+			i+1, cp.MM, cp.Word, cp.Latency, cp.TreeSpans, cp.Depth)
+		for _, st := range cp.Steps {
+			stage := "root"
+			if st.CombineStage >= 0 {
+				stage = fmt.Sprintf("combined@stage %d", st.CombineStage)
+			}
+			fmt.Fprintf(w, "      pe%-3d %-4s issue %-6d done %-6d lat %-5d wait %-5d %s\n",
+				st.PE, st.Op, st.Issued, st.Done, st.Latency, st.WaitCycles, stage)
+		}
+	}
+	return nil
+}
+
+func pct(v, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(v) / float64(total)
+}
+
+func profBar(v, total int64, width int) string {
+	if total == 0 {
+		return ""
+	}
+	n := int(int64(width) * v / total)
+	return strings.Repeat("#", n)
+}

@@ -19,6 +19,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -30,6 +32,7 @@ import (
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
 	"ultracomputer/internal/obs/live"
+	"ultracomputer/internal/obs/prof"
 	"ultracomputer/internal/obs/reqtrace"
 )
 
@@ -53,6 +56,8 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve live telemetry on this address while the run executes (/metrics, /snapshot.json, /events, /trace/flight, /healthz, /debug/pprof/)")
 	confThreshold := flag.Float64("conformance-threshold", 0, "measured/predicted round-trip drift ratio that raises the model-conformance alert (0 = default)")
 	reqRate := flag.Float64("reqtrace", 0, "fraction of memory requests to trace causally PE->switches->MM->PE (0 = off, 1 = all)")
+	profFlag := flag.Bool("prof", false, "profile the guest program: cycle-exact attribution of every PE cycle to its pc and state (execute / cache-hit / memory-wait / net-full-stall / spin)")
+	profOut := flag.String("prof-out", "", "write the guest profile to this file: .pb.gz/.pprof selects gzipped pprof protobuf (go tool pprof), anything else JSONL (tables -prof); implies -prof")
 	spansOut := flag.String("spans", "", "write completed request-trace spans as JSONL to this file (implies -reqtrace 1 when the rate is unset)")
 	flightDir := flag.String("flight-dir", "", "directory for alert-triggered flight-recorder dumps, flight-<cycle>.jsonl (implies -reqtrace 1 when the rate is unset)")
 	engineFlag := flag.String("engine", "serial", "execution engine: serial or parallel (byte-identical outputs either way)")
@@ -155,6 +160,16 @@ func main() {
 		tracer = reqtrace.New(reqtrace.Config{Rate: r})
 		m.SetTracer(tracer)
 	}
+	var profiler *prof.Profiler
+	if *profFlag || *profOut != "" {
+		profiler = prof.New(prof.Config{
+			PEs:      *pes,
+			Programs: []*isa.Program{prog},
+			File:     filepath.Base(flag.Arg(0)),
+			Source:   string(src),
+		})
+		m.SetProfiler(profiler)
+	}
 
 	// Live telemetry: the server runs beside the simulation; the only
 	// thing the sim loop does for it is publish copy-on-sample States via
@@ -166,6 +181,10 @@ func main() {
 		var prevRep machine.Report
 		if tracer != nil {
 			srv.SetFlight(tracer)
+		}
+		if profiler != nil {
+			profiler.EnableLive()
+			srv.SetProfile(profiler)
 		}
 		feed = &live.Feed{
 			Server:    srv,
@@ -244,6 +263,26 @@ func main() {
 			}
 		}
 	}
+	if profiler != nil {
+		// Fold the tracer's combining genealogy into the profile: the
+		// longest dependent chains through each combining tree are the
+		// run's top slow paths.
+		if tracer != nil {
+			spans := append(tracer.Spans(), tracer.SlowSpans()...)
+			profiler.AddCriticalPaths(prof.CriticalPaths(spans, 10))
+		}
+		printProfSummary(profiler)
+		if *profOut != "" {
+			if err := writeProfile(*profOut, profiler); err != nil {
+				fatal(err)
+			}
+			how := "tables -prof " + *profOut
+			if profBinary(*profOut) {
+				how = "go tool pprof -top " + *profOut
+			}
+			fmt.Printf("wrote %s (inspect with: %s)\n", *profOut, how)
+		}
+	}
 
 	if *dump != "" {
 		lo, hi, err := parseRange(*dump)
@@ -299,6 +338,85 @@ func writeSpans(path string, tr *reqtrace.Tracer) error {
 		return err
 	}
 	return f.Close()
+}
+
+// profBinary reports whether the output path selects the pprof
+// protobuf format (otherwise JSONL).
+func profBinary(path string) bool {
+	return strings.HasSuffix(path, ".pb.gz") || strings.HasSuffix(path, ".pprof")
+}
+
+func writeProfile(path string, p *prof.Profiler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if profBinary(path) {
+		err = p.WritePprof(f)
+	} else {
+		err = p.WriteJSONL(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printProfSummary prints the profile's headline numbers: where the
+// guest's cycles went by state, the hottest functions, and the most
+// contended shared words.
+func printProfSummary(p *prof.Profiler) {
+	m := p.Merged()
+	if m.TotalCycles == 0 {
+		return
+	}
+	var states [obs.NumProfStates]int64
+	for _, r := range m.PEs {
+		for s, v := range r.States {
+			states[s] += v
+		}
+	}
+	fmt.Printf("\nguest profile: %d cycles across %d PEs\n", m.TotalCycles, len(m.PEs))
+	for s, v := range states {
+		if v > 0 {
+			fmt.Printf("  %-15s %12d  %5.1f%%\n", obs.ProfState(s), v,
+				100*float64(v)/float64(m.TotalCycles))
+		}
+	}
+	fmt.Println("hottest functions (flat cycles):")
+	shown := 0
+	for _, f := range m.Funcs {
+		if f.Name == "<halted>" {
+			continue
+		}
+		fmt.Printf("  %-28s flat %10d  cum %10d\n", f.Name, f.Flat, f.Cum)
+		if shown++; shown == 5 {
+			break
+		}
+	}
+	rows := append([]prof.AddrRow(nil), m.Addrs...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Accesses > rows[j].Accesses })
+	if len(rows) > 0 {
+		fmt.Println("hottest shared words (accesses / combines / wait cycles):")
+		for i, r := range rows {
+			if i == 5 || r.Accesses == 0 {
+				break
+			}
+			fmt.Printf("  MM %2d word %6d  %10d / %8d / %10d\n",
+				r.MM, r.Word, r.Accesses, r.Combines, r.WaitCycles)
+		}
+	}
+	for i, cp := range m.Paths {
+		if i == 0 {
+			fmt.Println("top slow paths (combining-tree critical chains):")
+		}
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  root %d  MM %d word %d  %d spans  depth %d  %d cycles\n",
+			cp.Root, cp.MM, cp.Word, cp.TreeSpans, cp.Depth, cp.Latency)
+	}
 }
 
 func writeMetrics(path string, s *obs.Sampler) error {

@@ -50,6 +50,9 @@ func (c *Core) Halted() bool { return c.halted }
 // PC reports the current program counter.
 func (c *Core) PC() int { return c.pc }
 
+// Program reports the program this core interprets (profiler use).
+func (c *Core) Program() *Program { return c.prog }
+
 // Tag space: integer register d locks as tag d, float register d as
 // NumRegs+d.
 const floatTagBase = NumRegs

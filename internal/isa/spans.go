@@ -1,0 +1,64 @@
+package isa
+
+import "sort"
+
+// FuncSpan is a label-delimited span of instructions. In assembly
+// programs labels are the only function-like structure there is, so the
+// guest profiler rolls cycle counts up to the nearest preceding label:
+// every label opens a span that runs to the next label (or the end of
+// the program), and instructions before the first label belong to the
+// synthetic "_start" span.
+type FuncSpan struct {
+	Name  string
+	Start int // first pc in the span
+	End   int // one past the last pc
+}
+
+// FuncSpans partitions the program's pcs into label spans, ordered by
+// Start. When several labels name the same pc the lexically smallest
+// wins (the rest are aliases). Programs with no labels get a single
+// "_start" span covering everything.
+func (p *Program) FuncSpans() []FuncSpan {
+	type lab struct {
+		name string
+		pc   int
+	}
+	labs := make([]lab, 0, len(p.Labels))
+	for name, pc := range p.Labels {
+		if pc < 0 || pc > len(p.Instrs) {
+			continue
+		}
+		labs = append(labs, lab{name, pc})
+	}
+	sort.Slice(labs, func(i, j int) bool {
+		if labs[i].pc != labs[j].pc {
+			return labs[i].pc < labs[j].pc
+		}
+		return labs[i].name < labs[j].name
+	})
+	spans := make([]FuncSpan, 0, len(labs)+1)
+	if len(labs) == 0 || labs[0].pc > 0 {
+		spans = append(spans, FuncSpan{Name: "_start", Start: 0})
+	}
+	for i, l := range labs {
+		if i > 0 && l.pc == labs[i-1].pc {
+			continue // alias label at the same pc
+		}
+		if n := len(spans); n > 0 {
+			spans[n-1].End = l.pc
+		}
+		spans = append(spans, FuncSpan{Name: l.name, Start: l.pc})
+	}
+	spans[len(spans)-1].End = len(p.Instrs)
+	return spans
+}
+
+// FuncAt names the span containing pc ("" when out of range), using the
+// spans returned by FuncSpans.
+func FuncAt(spans []FuncSpan, pc int) string {
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].End > pc })
+	if i < len(spans) && pc >= spans[i].Start {
+		return spans[i].Name
+	}
+	return ""
+}

@@ -1,0 +1,47 @@
+package isa
+
+import "testing"
+
+func TestFuncSpans(t *testing.T) {
+	prog := MustAssemble(`
+        li   r1, 1
+        jal  r31, f
+        halt
+f:      addi r1, r1, 1
+g:      jr   r31
+`)
+	spans := prog.FuncSpans()
+	want := []FuncSpan{
+		{Name: "_start", Start: 0, End: 3},
+		{Name: "f", Start: 3, End: 4},
+		{Name: "g", Start: 4, End: 5},
+	}
+	if len(spans) != len(want) {
+		t.Fatalf("got %d spans %v, want %d", len(spans), spans, len(want))
+	}
+	for i, w := range want {
+		if spans[i] != w {
+			t.Errorf("span %d = %+v, want %+v", i, spans[i], w)
+		}
+	}
+	cases := []struct {
+		pc   int
+		name string
+	}{{0, "_start"}, {2, "_start"}, {3, "f"}, {4, "g"}, {-1, ""}, {5, ""}}
+	for _, c := range cases {
+		if got := FuncAt(spans, c.pc); got != c.name {
+			t.Errorf("FuncAt(%d) = %q, want %q", c.pc, got, c.name)
+		}
+	}
+}
+
+func TestFuncSpansNoLabels(t *testing.T) {
+	prog := MustAssemble(`
+        li   r1, 1
+        halt
+`)
+	spans := prog.FuncSpans()
+	if len(spans) != 1 || spans[0].Name != "_start" || spans[0].Start != 0 || spans[0].End != 2 {
+		t.Fatalf("got %v, want one _start span covering the program", spans)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"ultracomputer/internal/isa"
 	"ultracomputer/internal/network"
+	"ultracomputer/internal/obs/prof"
 	"ultracomputer/internal/obs/reqtrace"
 	"ultracomputer/internal/pe"
 )
@@ -81,4 +82,56 @@ loop:   faa  r3, 0(r1), r2
 	if avg := testing.AllocsPerRun(500, m.Step); avg != 0 {
 		t.Fatalf("Machine.Step with a rate-0 tracer allocates %.2f times per cycle, want 0", avg)
 	}
+}
+
+// TestStepZeroAllocProfilerDisabled pins the guest profiler's
+// zero-overhead-when-off guarantee for both off states: no profiler
+// attached (every hook site is one nil compare) and a profiler attached
+// but disabled (SetProfiler skips the wiring entirely, so the hot paths
+// see the same nils). Step must stay allocation-free in steady state
+// either way.
+func TestStepZeroAllocProfilerDisabled(t *testing.T) {
+	mk := func() *Machine {
+		prog := isa.MustAssemble(`
+        li   r1, 100
+        li   r2, 1
+loop:   faa  r3, 0(r1), r2
+        add  r4, r4, r3
+        jmp  loop
+`)
+		const n = 8
+		cores := make([]pe.Core, n)
+		for i := range cores {
+			cores[i] = isa.NewCore(prog, 64)
+		}
+		return New(Config{
+			Net:     network.Config{K: 2, Stages: 4, Combining: true},
+			Hashing: true,
+			PEs:     n,
+		}, cores)
+	}
+
+	t.Run("nil", func(t *testing.T) {
+		m := mk()
+		m.SetProfiler(nil)
+		for i := 0; i < 2000; i++ {
+			m.Step()
+		}
+		if avg := testing.AllocsPerRun(500, m.Step); avg != 0 {
+			t.Fatalf("Machine.Step with profiler=nil allocates %.2f times per cycle, want 0", avg)
+		}
+	})
+
+	t.Run("attached-but-off", func(t *testing.T) {
+		m := mk()
+		p := prof.New(prof.Config{PEs: 8})
+		p.SetEnabled(false)
+		m.SetProfiler(p)
+		for i := 0; i < 2000; i++ {
+			m.Step()
+		}
+		if avg := testing.AllocsPerRun(500, m.Step); avg != 0 {
+			t.Fatalf("Machine.Step with a disabled profiler allocates %.2f times per cycle, want 0", avg)
+		}
+	})
 }

@@ -14,6 +14,7 @@ import (
 	"ultracomputer/internal/msg"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
+	"ultracomputer/internal/obs/prof"
 	"ultracomputer/internal/obs/reqtrace"
 	"ultracomputer/internal/pe"
 )
@@ -76,6 +77,7 @@ type Machine struct {
 	sampler *obs.Sampler
 	probe   obs.Probe
 	tracer  *reqtrace.Tracer
+	prof    *prof.Profiler
 
 	// eng is the execution engine driving Step (default Serial); the
 	// stepper materializes lazily on the first Step so probes and
@@ -234,6 +236,34 @@ func (m *Machine) SetTracer(t *reqtrace.Tracer) {
 // Tracer returns the attached request tracer, or nil.
 func (m *Machine) Tracer() *reqtrace.Tracer { return m.tracer }
 
+// SetProfiler attaches the guest profiler to every layer of the
+// machine: PEs attribute cycles and report issues/deliveries, memory
+// modules report serves, and the network reports combines. Call before
+// the first Step; nil (the default) detaches. An attached profiler with
+// Enabled()==false wires nothing, so it costs zero on the hot paths.
+func (m *Machine) SetProfiler(p *prof.Profiler) {
+	m.prof = p
+	// Interface values must be built from a checked pointer: assigning a
+	// nil *Profiler directly would produce a non-nil interface.
+	var peSink pe.Profiler
+	var mmSink memory.ServeProfiler
+	var netSink network.NetProfiler
+	if p != nil && p.Enabled() {
+		p.SetMMs(len(m.bank.Modules))
+		peSink = p
+		mmSink = p
+		netSink = p.NetShard(0)
+	}
+	for _, pp := range m.pes {
+		pp.SetProfiler(peSink)
+	}
+	m.bank.SetProfiler(mmSink)
+	m.net.SetProfiler(netSink)
+}
+
+// Profiler returns the attached guest profiler, or nil.
+func (m *Machine) Profiler() *prof.Profiler { return m.prof }
+
 // SetEngine selects the execution engine driving Step: nil or
 // engine.Serial for the in-line reference behavior, engine.NewParallel
 // to shard each phase across a worker pool. Call before the first
@@ -278,6 +308,16 @@ func (m *Machine) ensureStepper() {
 		if m.cfg.IdealMemory {
 			m.idealHold = make([][]msg.Request, len(m.pes))
 			m.idealBuckets = make([][]msg.Reply, len(m.pes))
+		}
+		if m.prof != nil && m.prof.Enabled() {
+			// Each worker combines into its own shard; counts merge
+			// order-free at export.
+			shards := m.prof.NetShards(m.eng.Workers())
+			np := make([]network.NetProfiler, len(shards))
+			for i, s := range shards {
+				np[i] = s
+			}
+			m.stepper.SetProfShards(np)
 		}
 	}
 	m.mmPorts = make([]memory.Port, len(m.bank.Modules))
@@ -400,9 +440,30 @@ func (m *Machine) Step() {
 		//ultravet:ok hotalloc periodic sampling path, off the per-cycle steady state
 		m.bank.Observe(&sn)
 		//ultravet:ok hotalloc periodic sampling path, off the per-cycle steady state
+		m.observePEs(&sn)
+		//ultravet:ok hotalloc periodic sampling path, off the per-cycle steady state
 		m.sampler.Record(sn)
+		if m.prof != nil {
+			// Rebuild the live /profile payload (no-op unless live
+			// publishing was enabled; see prof.Profiler.EnableLive).
+			//ultravet:ok hotalloc periodic sampling path, off the per-cycle steady state
+			m.prof.Publish()
+		}
 	}
 	m.cycle++
+}
+
+// observePEs fills the PE side of a periodic metrics snapshot: per-PE
+// instructions retired and stall cycles, served as labeled series at
+// /metrics.
+func (m *Machine) observePEs(sn *obs.Snapshot) {
+	sn.PEInstructions = make([]int64, len(m.pes))
+	sn.PEStallCycles = make([]int64, len(m.pes))
+	for i, p := range m.pes {
+		st := p.Stats()
+		sn.PEInstructions[i] = st.Instructions.Value()
+		sn.PEStallCycles[i] = st.IdleCycles.Value()
+	}
 }
 
 // stepIdealDeliver hands last cycle's ideal-memory replies to their

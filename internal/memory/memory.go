@@ -47,6 +47,16 @@ type Module struct {
 	// events of traced requests only, kept separate from the main probe
 	// so sampled tracing never requires full event recording.
 	trace obs.Probe
+	// prof is the guest profiler's serve sink (nil when off).
+	prof ServeProfiler
+}
+
+// ServeProfiler receives completed memory operations for the guest
+// profiler's contention heatmap (internal/obs/prof satisfies it). The
+// MM phase shards by module, so the profiler shards its counters by mm
+// and needs no locking.
+type ServeProfiler interface {
+	ProfServe(mm, word int, op msg.Op)
 }
 
 // SetProbe attaches an event probe (nil detaches; the default).
@@ -54,6 +64,9 @@ func (m *Module) SetProbe(p obs.Probe) { m.probe = p }
 
 // SetTracer attaches the request-tracing stream (nil detaches).
 func (m *Module) SetTracer(p obs.Probe) { m.trace = p }
+
+// SetProfiler attaches the guest profiler's serve sink (nil detaches).
+func (m *Module) SetProfiler(p ServeProfiler) { m.prof = p }
 
 // emitBegin records the start of one MNI service.
 func (m *Module) emitBegin(r msg.Request, cycle int64) {
@@ -142,6 +155,9 @@ func (m *Module) Step(cycle int64, port Port) {
 		m.words[r.Addr.Word] = newVal
 		m.Served.Inc()
 		m.busy = false
+		if m.prof != nil {
+			m.prof.ProfServe(m.id, r.Addr.Word, r.Op)
+		}
 		if m.probe != nil {
 			m.probe.Emit(obs.Event{
 				Cycle: cycle, Kind: obs.KindMNIServe, PE: r.PE, Stage: -1,
@@ -235,6 +251,13 @@ func (b *Bank) SetProbe(p obs.Probe) {
 func (b *Bank) SetTracer(p obs.Probe) {
 	for _, m := range b.Modules {
 		m.SetTracer(p)
+	}
+}
+
+// SetProfiler attaches the guest profiler's serve sink to every module.
+func (b *Bank) SetProfiler(p ServeProfiler) {
+	for _, m := range b.Modules {
+		m.SetProfiler(p)
 	}
 }
 

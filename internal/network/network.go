@@ -115,6 +115,10 @@ type Network struct {
 	// can run without full event recording.
 	trace obs.Probe
 
+	// prof is the guest profiler's combine sink (serial paths only; the
+	// parallel Stepper uses per-worker shards).
+	prof NetProfiler
+
 	// collectBuf is the per-PE reply scratch reused by Collect every
 	// cycle (shard-owned: the collect phase is sharded by PE). The
 	// returned slice is only valid until that PE's next Collect.
@@ -148,6 +152,24 @@ func (n *Network) SetTracer(p obs.Probe) {
 	for i, c := range n.copies {
 		c.trace = p
 		c.copyIdx = i
+	}
+}
+
+// NetProfiler receives combine events for the guest profiler's
+// per-address contention heatmap (internal/obs/prof.NetShard satisfies
+// it). Calls arrive from whatever unit performs the combine, so under
+// the parallel engine each worker must be given its own shard (see
+// Stepper.SetProfShards); counts are merged order-free.
+type NetProfiler interface {
+	ProfCombine(addr msg.Addr)
+}
+
+// SetProfiler attaches a guest-profiler combine sink to the network and
+// all its copies (serial paths); nil detaches it.
+func (n *Network) SetProfiler(p NetProfiler) {
+	n.prof = p
+	for _, c := range n.copies {
+		c.prof = p
 	}
 }
 

@@ -59,6 +59,7 @@ type copyNet struct {
 	stats   *Stats
 	probe   obs.Probe
 	trace   obs.Probe // request-tracing stream (reqtrace.Tracer); nil when off
+	prof    NetProfiler
 	copyIdx int
 }
 
@@ -116,6 +117,10 @@ type sink struct {
 	stats *Stats
 	probe obs.Probe
 	trace obs.Probe
+	// prof receives combine events for the guest profiler's contention
+	// heatmap; under the parallel engine each worker gets its own shard
+	// (merged order-free — combine counts are plain sums).
+	prof NetProfiler
 }
 
 // enqueueForward routes a request into the ToMM queue of stage s selected
@@ -163,6 +168,9 @@ func (c *copyNet) enqueueForward(s, sw int, r msg.Request, cycle int64, sk *sink
 					})
 					sk.stats.Combines.Inc()
 					sk.stats.combineAtStage(s)
+					if sk.prof != nil {
+						sk.prof.ProfCombine(r.Addr)
+					}
 					if sk.probe != nil {
 						sk.probe.Emit(obs.Event{
 							Cycle: cycle, Kind: obs.KindCombine, PE: r.PE,
@@ -341,7 +349,7 @@ func synthReply(sd side, addr msg.Addr, y int64) msg.Reply {
 // downstream hop is usable upstream in the same cycle while every message
 // still advances at most one stage per cycle.
 func (c *copyNet) step(cycle int64) {
-	sk := sink{stats: c.stats, probe: c.probe, trace: c.trace}
+	sk := sink{stats: c.stats, probe: c.probe, trace: c.trace, prof: c.prof}
 	c.stepForward(cycle, &sk)
 	c.stepReverse(cycle, &sk)
 }

@@ -84,6 +84,10 @@ type Stepper struct {
 	phaseTraced bool
 	phaseBody   func(lo, hi, w int)
 	serialSink  sink
+
+	// nprof holds the guest profiler's per-worker combine shards
+	// (SetProfShards); nil when profiling is off.
+	nprof []NetProfiler
 }
 
 // NewStepper builds a stepper for n driven by eng (nil means the serial
@@ -185,6 +189,9 @@ func (st *Stepper) buildPhases(stages, k int) {
 	}
 	st.phaseBody = func(lo, hi, w int) {
 		sk := sink{stats: &st.wstats[w]}
+		if st.nprof != nil {
+			sk.prof = st.nprof[w]
+		}
 		for u := lo; u < hi; u++ {
 			if st.phaseProbed {
 				sk.probe = &st.swEvents[u]
@@ -219,6 +226,11 @@ func feederTable(t topology, inv func(int) int) [][]int {
 // is buffered and must be flushed).
 func (st *Stepper) Parallel() bool { return st.par }
 
+// SetProfShards gives each engine worker its own guest-profiler combine
+// shard (len must be eng.Workers(); nil detaches). Only meaningful with
+// a parallel engine — the serial path uses Network.SetProfiler.
+func (st *Stepper) SetProfShards(shards []NetProfiler) { st.nprof = shards }
+
 // Engine exposes the engine driving this stepper, for callers that
 // shard their own phases (machine.Step, trace.Run).
 func (st *Stepper) Engine() engine.Engine { return st.eng }
@@ -228,7 +240,7 @@ func (st *Stepper) Engine() engine.Engine { return st.eng }
 func (st *Stepper) phase(run func(ci, sw int, sk *sink)) {
 	n := st.n
 	if !st.par {
-		st.serialSink = sink{stats: &n.stats, probe: n.probe, trace: n.trace}
+		st.serialSink = sink{stats: &n.stats, probe: n.probe, trace: n.trace, prof: n.prof}
 		for u := 0; u < st.units; u++ {
 			run(u/st.group, u%st.group, &st.serialSink)
 		}

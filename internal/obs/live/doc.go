@@ -28,10 +28,11 @@
 //	/metrics        Prometheus text exposition: cycle count, traffic
 //	                counters and rates, per-stage ToMM/ToPE queue
 //	                depth, combining rate, wait-buffer occupancy,
-//	                per-MM service counts and skew, round-trip
-//	                p50/p99, and the model-conformance gauges
-//	                (measured vs predicted latency, drift ratio,
-//	                alert state).
+//	                per-MM service counts and skew, per-PE
+//	                instructions-retired and stall-cycle counters,
+//	                round-trip p50/p99, and the model-conformance
+//	                gauges (measured vs predicted latency, drift
+//	                ratio, alert state).
 //	/snapshot.json  The full current State as one JSON document.
 //	/events         Recent probe events as JSONL; ?follow=1 streams
 //	                new events as they are published until the run
@@ -40,6 +41,10 @@
 //	                ring of recent complete spans plus slow outliers
 //	                (404 unless a tracer is attached via
 //	                Server.SetFlight).
+//	/profile        The guest profiler's current profile as a gzipped
+//	                pprof protobuf — `go tool pprof http://addr/profile`
+//	                renders guest flamegraphs mid-run (404 unless a
+//	                profiler is attached via Server.SetProfile).
 //	/healthz        Liveness plus publish progress.
 //	/debug/pprof/   Standard net/http/pprof handlers.
 //

@@ -73,6 +73,19 @@ func writeMetrics(w io.Writer, st *State) {
 		}
 	}
 
+	if len(sn.PEInstructions) > 0 {
+		fmt.Fprintf(w, "# HELP ultra_pe_instructions_total instructions retired per PE\n# TYPE ultra_pe_instructions_total counter\n")
+		for pe, v := range sn.PEInstructions {
+			fmt.Fprintf(w, "ultra_pe_instructions_total{pe=\"%d\"} %d\n", pe, v)
+		}
+	}
+	if len(sn.PEStallCycles) > 0 {
+		fmt.Fprintf(w, "# HELP ultra_pe_stall_cycles_total PE cycles lost waiting (memory, network backpressure, pipelining)\n# TYPE ultra_pe_stall_cycles_total counter\n")
+		for pe, v := range sn.PEStallCycles {
+			fmt.Fprintf(w, "ultra_pe_stall_cycles_total{pe=\"%d\"} %d\n", pe, v)
+		}
+	}
+
 	c("ultra_rt_count_total", "round-trip latency samples", float64(sn.RTCount))
 	g("ultra_rt_window_mean", "mean round-trip latency over the window in network cycles", sn.RTWindowMean)
 	g("ultra_rt_p50", "cumulative round-trip latency p50 in network cycles", sn.RTP50)

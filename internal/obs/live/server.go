@@ -27,6 +27,8 @@ type Server struct {
 	cur atomic.Pointer[State]
 	// flight serves /trace/flight; set before Start (SetFlight).
 	flight FlightSource
+	// profile serves /profile; set before Start (SetProfile).
+	profile ProfileSource
 }
 
 // FlightSource provides an on-demand flight-recorder dump: the current
@@ -42,6 +44,19 @@ type FlightSource interface {
 // endpoint report that tracing is disabled.
 func (s *Server) SetFlight(src FlightSource) { s.flight = src }
 
+// ProfileSource provides the current guest profile as gzipped
+// pprof-format bytes, nil before the first publish. The guest profiler
+// (internal/obs/prof.Profiler) implements it: LiveProfile reads an
+// atomically published snapshot, so serving mid-run is safe.
+type ProfileSource interface {
+	LiveProfile() []byte
+}
+
+// SetProfile attaches the guest-profile source served by /profile.
+// Call before Start; nil (the default) makes the endpoint report that
+// profiling is disabled.
+func (s *Server) SetProfile(src ProfileSource) { s.profile = src }
+
 // NewServer returns a server with all endpoints registered.
 func NewServer() *Server {
 	s := &Server{mux: http.NewServeMux()}
@@ -50,6 +65,7 @@ func NewServer() *Server {
 	s.mux.HandleFunc("/snapshot.json", s.handleSnapshot)
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/trace/flight", s.handleFlight)
+	s.mux.HandleFunc("/profile", s.handleProfile)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -196,6 +212,29 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 		// Headers are gone; nothing useful to do but stop writing.
 		return
 	}
+}
+
+// handleProfile serves the most recently published guest profile as a
+// gzipped pprof protobuf, fetchable directly:
+//
+//	go tool pprof http://addr/profile
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if s.profile == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintln(w, `{"error":"guest profiling not enabled; run with -prof"}`)
+		return
+	}
+	b := s.profile.LiveProfile()
+	if len(b) == 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"no profile published yet"}`)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="ultraprof.pb.gz"`)
+	_, _ = w.Write(b)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

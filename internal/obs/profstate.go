@@ -1,0 +1,42 @@
+package obs
+
+// ProfState classifies what one PE cycle was spent on, from the guest
+// program's point of view. The guest profiler (internal/obs/prof)
+// attributes every cycle of every PE to exactly one state at the PC that
+// was current when the cycle elapsed.
+type ProfState uint8
+
+const (
+	// ProfExecute: an instruction retired this cycle.
+	ProfExecute ProfState = iota
+	// ProfCacheHit: a cached shared access (CLDS/CSTS) retired — it was
+	// satisfied by the PE's write-back cache, not the network.
+	ProfCacheHit
+	// ProfMemWait: the cycle was lost waiting on shared memory — a locked
+	// register was consumed, or the PNI pipelining rules refused an issue.
+	ProfMemWait
+	// ProfNetStall: the network refused the injection (backpressure).
+	ProfNetStall
+	// ProfSpin: cycles retroactively reclassified as busy-waiting — the PE
+	// was in a load/branch (or RMW/branch) loop re-polling a shared word
+	// whose value did not change between observations.
+	ProfSpin
+	// ProfHalted: the PE had halted; the machine was still running other
+	// PEs. Attributed so profiles sum to exactly PEs x measured cycles.
+	ProfHalted
+
+	// NumProfStates sizes per-state arrays.
+	NumProfStates
+)
+
+var profStateNames = [NumProfStates]string{
+	"execute", "cache-hit", "memory-wait", "net-full-stall", "spin", "halted",
+}
+
+// String names the state.
+func (s ProfState) String() string {
+	if s < NumProfStates {
+		return profStateNames[s]
+	}
+	return "unknown"
+}

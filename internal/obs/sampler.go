@@ -52,6 +52,12 @@ type Snapshot struct {
 	// the counts stay level, under a hot spot one module races ahead.
 	MMServedPerModule []int64 `json:"mm_served_per_module,omitempty"`
 
+	// PEInstructions/PEStallCycles are the cumulative per-PE
+	// instructions-retired and idle-cycle counters (machine runs only;
+	// the synthetic trace runner has no PEs).
+	PEInstructions []int64 `json:"pe_instructions,omitempty"`
+	PEStallCycles  []int64 `json:"pe_stall_cycles,omitempty"`
+
 	// RTCount/RTSum are the cumulative round-trip sample count and sum
 	// (network cycles) measured at reply delivery; RTP50/RTP99 are
 	// quantiles of the cumulative round-trip distribution.

@@ -78,6 +78,14 @@ type PE struct {
 	probeScale int64
 	stall      obs.StallCause // current stall run's cause, CauseNone when running
 
+	// prof receives guest-profiler hooks; pcer is the core's PC
+	// capability (cached at SetProfiler), profPC the pc captured at the
+	// top of the current tick so Issue/Deliver hooks see the pc of the
+	// issuing instruction rather than wherever the core moved to.
+	prof   Profiler
+	pcer   PCer
+	profPC int
+
 	// env is the Env handed to the core each tick, a field rather than a
 	// stack value because passing &env through the Core interface would
 	// force a heap allocation every cycle.
@@ -88,6 +96,40 @@ type PE struct {
 // its PE (GoCore and isa.Core forward it to their caches).
 type probeSettable interface {
 	SetProbe(p obs.Probe, pe int)
+}
+
+// Profiler is the guest-profiler sink (internal/obs/prof satisfies it
+// implicitly). Hooks follow the probe contract: one nil check when off,
+// and callees must not retain references past the call. All three are
+// invoked from the PE tick/deliver phases, which shard by PE, so the
+// profiler may keep per-PE state without locking.
+type Profiler interface {
+	// ProfCycle attributes one elapsed PE cycle to the guest pc that was
+	// current when the cycle began, classified coarsely; the profiler
+	// refines ProfExecute into cache-hit and (retroactively) spin.
+	ProfCycle(pe, pc int, state obs.ProfState)
+	// ProfIssue records a shared-memory request leaving the PE: linear is
+	// the guest address, hashed its (module, word) translation.
+	ProfIssue(pe, pc int, op msg.Op, linear int64, hashed msg.Addr)
+	// ProfDeliver records a reply arriving: pc is the instruction that
+	// issued the request, wait the issue-to-complete time in PE cycles.
+	ProfDeliver(pe, pc int, op msg.Op, linear int64, value int64, wait int64)
+}
+
+// PCer is the optional Core capability the profiler needs to attribute
+// cycles to guest pcs (isa.Core has it; GoCore does not — its cycles
+// land on pc 0).
+type PCer interface {
+	PC() int
+}
+
+// SetProfiler attaches a guest-profiler sink (nil detaches).
+func (p *PE) SetProfiler(pr Profiler) {
+	p.prof = pr
+	p.pcer = nil
+	if pr != nil {
+		p.pcer, _ = p.core.(PCer)
+	}
 }
 
 // SetProbe attaches an event probe; scale is the number of network
@@ -139,7 +181,15 @@ func (p *PE) Drained() bool { return p.pni.Outstanding() == 0 }
 // Tick runs one processor cycle.
 func (p *PE) Tick(cycle int64, npe int) {
 	if p.halted {
+		if p.prof != nil {
+			// Attribute even post-halt cycles so profiles sum to exactly
+			// PEs x measured cycles.
+			p.prof.ProfCycle(p.id, p.profPC, obs.ProfHalted)
+		}
 		return
+	}
+	if p.prof != nil && p.pcer != nil {
+		p.profPC = p.pcer.PC()
 	}
 	p.env = Env{pe: p, cycle: cycle, npe: npe}
 	r := p.core.Tick(&p.env)
@@ -147,12 +197,18 @@ func (p *PE) Tick(cycle int64, npe int) {
 	case r.Halted:
 		p.halted = true
 		p.endStall(cycle)
+		if p.prof != nil {
+			p.prof.ProfCycle(p.id, p.profPC, obs.ProfExecute)
+		}
 	case r.Executed:
 		p.stats.Instructions.Inc()
 		if r.LocalRef {
 			p.stats.LocalRefs.Inc()
 		}
 		p.endStall(cycle)
+		if p.prof != nil {
+			p.prof.ProfCycle(p.id, p.profPC, obs.ProfExecute)
+		}
 	default:
 		p.stats.IdleCycles.Inc()
 		cause := obs.CauseMemory
@@ -165,6 +221,13 @@ func (p *PE) Tick(cycle int64, npe int) {
 			p.stats.IdlePipeline.Inc()
 		default:
 			p.stats.IdleMemory.Inc()
+		}
+		if p.prof != nil {
+			st := obs.ProfMemWait
+			if cause == obs.CauseNetFull {
+				st = obs.ProfNetStall
+			}
+			p.prof.ProfCycle(p.id, p.profPC, st)
 		}
 		if p.probe != nil && p.stall != cause {
 			if p.stall != obs.CauseNone {
@@ -199,14 +262,17 @@ func (p *PE) endStall(cycle int64) {
 // Deliver routes a network reply to the core, recording the round trip in
 // PE cycles.
 func (p *PE) Deliver(rep msg.Reply, cycle int64) {
-	tag, issuedAt, ok := p.pni.complete(rep)
+	pr, ok := p.pni.complete(rep)
 	if !ok {
 		panic(fmt.Sprintf("pe %d: reply %v matches no outstanding request", p.id, rep))
 	}
-	p.stats.CMWait.Observe(float64(cycle - issuedAt))
-	p.stats.CMWaitHist.Observe(cycle - issuedAt)
-	if tag >= 0 {
-		p.core.Complete(tag, rep.Value)
+	p.stats.CMWait.Observe(float64(cycle - pr.issuedAt))
+	p.stats.CMWaitHist.Observe(cycle - pr.issuedAt)
+	if p.prof != nil {
+		p.prof.ProfDeliver(p.id, pr.pc, rep.Op, pr.addr, rep.Value, cycle-pr.issuedAt)
+	}
+	if pr.tag >= 0 {
+		p.core.Complete(pr.tag, rep.Value)
 	}
 }
 
@@ -247,7 +313,7 @@ func (e *Env) Issue(op msg.Op, addr int64, operand int64, tag int) bool {
 		e.refusedPipe = true
 		return false
 	}
-	ok := e.pe.pni.issue(op, addr, operand, tag, e.cycle)
+	ok := e.pe.pni.issue(op, addr, operand, tag, e.cycle, e.pe.profPC)
 	if !ok {
 		e.refusedNet = true
 		return false
@@ -255,6 +321,9 @@ func (e *Env) Issue(op msg.Op, addr int64, operand int64, tag int) bool {
 	e.pe.stats.SharedRefs.Inc()
 	if op.ReturnsValue() {
 		e.pe.stats.SharedLoads.Inc()
+	}
+	if e.pe.prof != nil {
+		e.pe.prof.ProfIssue(e.pe.id, e.pe.profPC, op, addr, e.pe.pni.hash.Map(addr))
 	}
 	return true
 }

@@ -41,6 +41,7 @@ type pendingReq struct {
 	tag      int
 	addr     int64
 	issuedAt int64
+	pc       int // guest pc of the issuing instruction (profiler use)
 }
 
 func newPNI(pe int, h memory.Hasher, inject func(msg.Request) bool, maxOutstanding int) *PNI {
@@ -67,7 +68,7 @@ func (p *PNI) canIssue(addr int64) bool {
 
 // issue translates, tags and injects one request. It reports false when
 // the pipelining rules refuse it or the network has no space.
-func (p *PNI) issue(op msg.Op, addr int64, operand int64, tag int, cycle int64) bool {
+func (p *PNI) issue(op msg.Op, addr int64, operand int64, tag int, cycle int64, pc int) bool {
 	if !p.canIssue(addr) {
 		return false
 	}
@@ -88,20 +89,20 @@ func (p *PNI) issue(op msg.Op, addr int64, operand int64, tag int, cycle int64) 
 		p.seq-- // ID not consumed
 		return false
 	}
-	p.pending[id] = pendingReq{tag: tag, addr: addr, issuedAt: cycle}
+	p.pending[id] = pendingReq{tag: tag, addr: addr, issuedAt: cycle, pc: pc}
 	p.byAddr[addr] = true
 	return true
 }
 
-// complete matches a reply to its outstanding request, returning the tag
-// and issue cycle.
-func (p *PNI) complete(rep msg.Reply) (tag int, issuedAt int64, ok bool) {
+// complete matches a reply to its outstanding request, returning the
+// pending record (tag, linear address, issue cycle, issuing pc).
+func (p *PNI) complete(rep msg.Reply) (pendingReq, bool) {
 	pr, found := p.pending[rep.ID]
 	if !found {
-		return 0, 0, false
+		return pendingReq{}, false
 	}
 	//ultravet:ok sharecheck p.pending belongs to this PE's interface; the deliver phase shards by PE
 	delete(p.pending, rep.ID)
 	delete(p.byAddr, pr.addr)
-	return pr.tag, pr.issuedAt, true
+	return pr, true
 }

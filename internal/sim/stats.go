@@ -97,6 +97,7 @@ func NewHistogram(capValue int) *Histogram {
 	if capValue < 1 {
 		capValue = 1
 	}
+	//ultravet:ok hotalloc constructor: callers lazily build each histogram once, off the steady state
 	return &Histogram{buckets: make([]int64, capValue)}
 }
 

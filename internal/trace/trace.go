@@ -15,6 +15,7 @@ import (
 	"ultracomputer/internal/msg"
 	"ultracomputer/internal/network"
 	"ultracomputer/internal/obs"
+	"ultracomputer/internal/obs/prof"
 	"ultracomputer/internal/obs/reqtrace"
 	"ultracomputer/internal/sim"
 )
@@ -60,6 +61,12 @@ type Workload struct {
 	// (internal/obs/reqtrace); sampled requests carry a trace context and
 	// the run records their complete span trees.
 	Tracer *reqtrace.Tracer
+	// Profiler, when non-nil, records the contention heatmap side of the
+	// guest profiler — per-word accesses on injection, per-module serve
+	// counts, per-word combines. The synthetic runner has no PEs
+	// executing instructions, so the cycle-attribution side stays empty;
+	// netperf uses this to price the profiler's hot-path hooks.
+	Profiler *prof.Profiler
 }
 
 func (w Workload) withDefaults() Workload {
@@ -144,7 +151,26 @@ func RunEngine(cfg network.Config, w Workload, warmup, measure int64, eng engine
 		net.SetTracer(w.Tracer)
 		bank.SetTracer(w.Tracer)
 	}
+	if w.Profiler != nil && w.Profiler.Enabled() {
+		// Per-MM serve shards are owned by the module phase's workers and
+		// per-PE issue shards by the generator's, so the same profiler
+		// value is safe under every engine.
+		w.Profiler.SetMMs(len(bank.Modules))
+		bank.SetProfiler(w.Profiler)
+	}
 	st := network.NewStepper(net, eng)
+	if w.Profiler != nil && w.Profiler.Enabled() {
+		if st.Parallel() {
+			shards := w.Profiler.NetShards(eng.Workers())
+			np := make([]network.NetProfiler, len(shards))
+			for i, sh := range shards {
+				np[i] = sh
+			}
+			st.SetProfShards(np)
+		} else {
+			net.SetProfiler(w.Profiler.NetShard(0))
+		}
+	}
 	if st.Parallel() {
 		if w.Probe != nil {
 			for mm, mod := range bank.Modules {
@@ -245,6 +271,10 @@ func RunEngine(cfg network.Config, w Workload, warmup, measure int64, eng engine
 					req.TC = w.Tracer.ContextFor(req.ID)
 				}
 				if st.Inject(pe, req, cycle) {
+					if w.Profiler != nil && w.Profiler.Enabled() {
+						// Per-PE profiler shard, owned by this worker.
+						w.Profiler.ProfIssue(pe, 0, op, linear, req.Addr)
+					}
 					if measuring {
 						injected[pe]++
 						//ultravet:ok sharecheck issueCycle[pe] belongs to the worker owning PE pe
