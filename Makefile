@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet lint verify test race bench bench-guard equivalence trace-smoke prof clean
+.PHONY: ci build vet lint verify test race bench bench-guard equivalence trace-smoke serve-smoke prof clean
 
-ci: vet lint verify build race test equivalence bench-guard prof
+ci: vet lint verify build race test equivalence bench-guard serve-smoke prof
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,7 @@ test:
 # commit-over-commit comparison (speedups are only meaningful on
 # multi-core hosts; the file records host_cpus).
 bench:
-	$(GO) run ./cmd/netperf -bench BENCH_PR8.json
+	$(GO) run ./cmd/netperf -bench BENCH_PR9.json
 
 # Engine equivalence: the serial and parallel engines must produce
 # byte-identical traces, metrics, reports and final state. Run under
@@ -77,6 +77,15 @@ prof: build
 		-prof-out /tmp/ultraprof.jsonl examples/asm/queue.s > /dev/null
 	$(GO) run ./cmd/tables -prof /tmp/ultraprof.pb.gz -prof-check
 	$(GO) run ./cmd/tables -prof /tmp/ultraprof.jsonl -prof-check
+
+# Multi-tenant service smoke (internal/serve): start ultraserve on a
+# loopback port, drive two concurrent sessions through the full API
+# lifecycle (create+stage, §4.1 dry-run, commit, start), wait for both,
+# and require each session's /report bytes to be identical to a
+# standalone in-process run of the same config — the session-isolation
+# and determinism guarantee, checked end to end over real HTTP.
+serve-smoke: build
+	$(GO) run ./cmd/ultraserve -smoke
 
 # End-to-end smoke: produce a Chrome trace and a metrics series from the
 # shipped examples (outputs land in /tmp).

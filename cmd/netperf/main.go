@@ -31,6 +31,7 @@ import (
 	"ultracomputer/internal/obs/live"
 	"ultracomputer/internal/obs/prof"
 	"ultracomputer/internal/obs/reqtrace"
+	"ultracomputer/internal/serve"
 	"ultracomputer/internal/sim"
 	"ultracomputer/internal/trace"
 )
@@ -391,6 +392,17 @@ func bench(path string) error {
 	}
 	rows = append(rows, guestRows...)
 
+	// Multi-tenant service overhead: aggregate guest cycles/sec at 1, 4
+	// and 8 concurrent ultraserve sessions of the same k2-d1 machine.
+	// Speedup on the s4/s8 rows is aggregate rate relative to the lone
+	// session — fair-share scheduling overhead shows up as it dropping
+	// below 1.
+	serveRows, err := benchServe()
+	if err != nil {
+		return err
+	}
+	rows = append(rows, serveRows...)
+
 	// Engine scaling matrix on the large machine.
 	const (
 		bigPorts   = 256
@@ -428,6 +440,83 @@ func bench(path string) error {
 			Rows       []benchRow `json:"rows"`
 		}{ports, warmup, measure, 17, runtime.NumCPU(), runtime.GOMAXPROCS(0), rows})
 	})
+}
+
+// benchServe measures the multi-tenant service's scheduling cost:
+// N concurrent sessions of one k2-d1 guest machine (k=2, 64 ports,
+// 16 PEs hammering a shared word with fetch-and-adds), driven directly
+// through internal/serve — sessions share the service's scheduler
+// worker budget in round-robin cycle slices exactly as API clients
+// would, without HTTP in the measured path.
+func benchServe() ([]benchRow, error) {
+	cfg := serve.Config{
+		K: 2, Stages: 6, PEs: 16,
+		Limit: 5_000_000,
+		Program: `
+        li   r1, 100
+        li   r2, 1
+        li   r6, 2000
+loop:   faa  r3, 0(r1), r2
+        add  r4, r4, r3
+        addi r5, r5, 1
+        blt  r5, r6, loop
+        halt
+`,
+	}
+	var rows []benchRow
+	var lone float64
+	for _, n := range []int{1, 4, 8} {
+		svc := serve.NewService(serve.Limits{MaxSessions: n})
+		start := time.Now()
+		sessions := make([]*serve.Session, 0, n)
+		for i := 0; i < n; i++ {
+			s, err := svc.CreateSession(fmt.Sprintf("bench-%d", i))
+			if err != nil {
+				return nil, err
+			}
+			if err := s.StageCandidate(cfg); err != nil {
+				return nil, err
+			}
+			if _, err := s.CommitCandidate(""); err != nil {
+				return nil, err
+			}
+			if err := s.StartRun(); err != nil {
+				return nil, err
+			}
+			sessions = append(sessions, s)
+		}
+		var total int64
+		for _, s := range sessions {
+			for {
+				info := s.Info()
+				if info.State == serve.StateDone {
+					total += info.Cycles
+					break
+				}
+				if info.State == serve.StateFailed {
+					return nil, fmt.Errorf("bench session %s failed: %s", info.ID, info.Error)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		wall := time.Since(start).Seconds()
+		svc.Drain()
+		row := benchRow{
+			Config: fmt.Sprintf("serve-s%d", n), K: 2, Copies: 1, Ports: 64,
+			Engine: "serve", Workers: svc.Limits().Workers,
+			Cycles: total, WallSeconds: wall,
+			CyclesPerSec: float64(total) / wall,
+		}
+		if n == 1 {
+			lone = row.CyclesPerSec
+		} else if lone > 0 {
+			row.Speedup = row.CyclesPerSec / lone
+		}
+		fmt.Printf("%-9s sessions=%d  %8.0f aggregate cycles/s  wall=%.3fs\n",
+			row.Config, n, row.CyclesPerSec, row.WallSeconds)
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // benchGuest measures the guest profiler's wall-clock cost on a real

@@ -9,7 +9,9 @@
 // Each reproduced value is printed beside the paper's.
 //
 // With -from host:port it instead renders a one-shot text dashboard
-// from a running live telemetry server (ultrasim/netperf -serve).
+// from a running live telemetry server (ultrasim/netperf -serve), or
+// from one ultraserve session's telemetry with
+// -from host:port/sessions/<id>.
 //
 // With -spans file.jsonl it renders a request-trace span dump as ASCII
 // waterfalls: each traced request's per-hop timeline on a shared time
@@ -31,7 +33,7 @@ func main() {
 	table := flag.Int("table", 0, "which table to regenerate (1, 2, 3; 0 = all)")
 	quick := flag.Bool("quick", false, "smaller problem sizes for a fast run")
 	jsonOut := flag.Bool("json", false, "emit Table 1 as JSON machine reports instead of the formatted table")
-	from := flag.String("from", "", "render a one-shot dashboard from a running telemetry server (host:port or URL) instead of regenerating tables")
+	from := flag.String("from", "", "render a one-shot dashboard from a running telemetry server (host:port or URL; an ultraserve session via host:port/sessions/<id>) instead of regenerating tables")
 	spansIn := flag.String("spans", "", "render a request-trace span dump (ultrasim/netperf -spans or a flight-<cycle>.jsonl) as ASCII waterfalls instead of regenerating tables")
 	spanLimit := flag.Int("span-limit", 5, "how many trees -spans renders, slowest first (0 = all)")
 	profIn := flag.String("prof", "", "render a guest profile (ultrasim -prof-out, JSONL or .pb.gz) instead of regenerating tables")

@@ -1,0 +1,71 @@
+// Command ultraserve runs the multi-tenant simulation service: many
+// concurrent Ultracomputer sessions sharing one scheduler worker budget
+// behind a REST/JSONL API, with a validated candidate/running config
+// store and §4.1 dry-run validation per session.
+//
+// Usage:
+//
+//	ultraserve -addr :8080
+//	ultraserve -addr :8080 -max-sessions 16 -workers 4
+//	ultraserve -smoke        # CI end-to-end check, then exit
+//
+// See internal/serve for the endpoint table and the README's
+// "Ultraserve" section for a curl walkthrough. SIGINT drains
+// gracefully: every session is interrupted, publishes its final
+// telemetry State, and the workers stop before the process exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"ultracomputer/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (:0 picks a free port)")
+	smoke := flag.Bool("smoke", false, "run the CI smoke check (two concurrent sessions vs a standalone run) and exit")
+	maxSessions := flag.Int("max-sessions", 0, "admission-control session cap (0 = default 8)")
+	maxPEs := flag.Int("max-pes", 0, "per-session PE quota (0 = default 256)")
+	maxMemory := flag.Int64("max-memory-words", 0, "per-session private-memory quota in words, pes × local_words (0 = default 4Mi)")
+	maxCycles := flag.Int64("max-cycles", 0, "per-session network-cycle quota (0 = default 50M)")
+	workers := flag.Int("workers", 0, "shared scheduler workers draining the session round-robin (0 = default 2)")
+	slice := flag.Int64("slice", 0, "round-robin grant per session in network cycles (0 = default 2048)")
+	flag.Parse()
+
+	if *smoke {
+		if err := serve.Smoke(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ultraserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	limits := serve.Limits{
+		MaxSessions:    *maxSessions,
+		MaxPEs:         *maxPEs,
+		MaxMemoryWords: *maxMemory,
+		MaxCycles:      *maxCycles,
+		Workers:        *workers,
+		Slice:          *slice,
+	}
+	svc := serve.NewService(limits)
+	hs, bound, err := serve.NewAPI(svc).Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ultraserve:", err)
+		os.Exit(1)
+	}
+	l := svc.Limits()
+	fmt.Printf("ultraserve: http://%s/sessions (%d workers, slice %d cycles, cap %d sessions)\n",
+		bound, l.Workers, l.Slice, l.MaxSessions)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	fmt.Println("\nultraserve: draining sessions…")
+	svc.Drain()
+	hs.Close()
+	fmt.Println("ultraserve: done")
+}

@@ -34,6 +34,7 @@ import (
 	"ultracomputer/internal/obs/live"
 	"ultracomputer/internal/obs/prof"
 	"ultracomputer/internal/obs/reqtrace"
+	"ultracomputer/internal/serve"
 )
 
 func main() {
@@ -62,22 +63,77 @@ func main() {
 	flightDir := flag.String("flight-dir", "", "directory for alert-triggered flight-recorder dumps, flight-<cycle>.jsonl (implies -reqtrace 1 when the rate is unset)")
 	engineFlag := flag.String("engine", "serial", "execution engine: serial or parallel (byte-identical outputs either way)")
 	workers := flag.Int("workers", 0, "parallel engine worker count (0 = GOMAXPROCS)")
+	configPath := flag.String("config", "", "JSON machine config file (the same validated object ultraserve stores); explicitly set flags override its fields, and its program runs when no prog.s argument is given")
 	flag.Parse()
+
+	// -config: the ultraserve config object as the run description. Flags
+	// the user explicitly set still win, so `-config base.json -pes 32`
+	// works as expected.
+	var fileCfg *serve.Config
+	if *configPath != "" {
+		c, err := serve.LoadConfigFile(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		fileCfg = &c
+		d := c.WithDefaults()
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["pes"] {
+			*pes = d.PEs
+		}
+		if !set["k"] {
+			*k = d.K
+		}
+		if !set["stages"] {
+			*stages = d.Stages
+		}
+		if !set["combining"] {
+			*combining = !d.NoCombining
+		}
+		if !set["hashing"] {
+			*hashing = !d.NoHashing
+		}
+		if !set["local"] {
+			*local = d.LocalWords
+		}
+		if !set["lint"] {
+			*lintFlag = d.Lint
+		}
+		if !set["limit"] {
+			*limit = d.Limit
+		}
+		if !set["sample-every"] {
+			*sampleEvery = d.SampleEvery
+		}
+		if !set["engine"] {
+			*engineFlag = d.Engine
+		}
+		if !set["workers"] {
+			*workers = d.Workers
+		}
+	}
 
 	if *topo {
 		fmt.Print(network.DescribeTopology(*k, *stages))
 		return
 	}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ultrasim [flags] prog.s")
+	var src, srcName string
+	switch {
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src, srcName = string(b), flag.Arg(0)
+	case flag.NArg() == 0 && fileCfg != nil:
+		src, srcName = fileCfg.Program, *configPath
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ultrasim [flags] prog.s  (or -config cfg.json with an embedded program)")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	prog, err := isa.Assemble(string(src))
+	prog, err := isa.Assemble(src)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,19 +148,19 @@ func main() {
 	// bound` — because the state space grows steeply with PEs; ultravet
 	// -mc-pes raises it offline).
 	if *verifyFlag {
-		res, err := mc.CheckSource(string(src), mc.Options{PEs: 2})
+		res, err := mc.CheckSource(src, mc.Options{PEs: 2})
 		if err != nil {
 			fatal(err)
 		}
 		switch {
 		case res.Suppressed:
-			fmt.Fprintf(os.Stderr, "verify: %s: suppressed (%s)\n", flag.Arg(0), res.SuppressReason)
+			fmt.Fprintf(os.Stderr, "verify: %s: suppressed (%s)\n", srcName, res.SuppressReason)
 		case res.Exhausted:
-			fmt.Fprintf(os.Stderr, "verify: %s: state budget exhausted after %d states; nothing proven\n", flag.Arg(0), res.States)
+			fmt.Fprintf(os.Stderr, "verify: %s: state budget exhausted after %d states; nothing proven\n", srcName, res.States)
 			os.Exit(1)
 		case res.Violation != nil:
 			v := res.Violation
-			fmt.Fprintf(os.Stderr, "verify: %s: %s\n", flag.Arg(0), v.Message)
+			fmt.Fprintf(os.Stderr, "verify: %s: %s\n", srcName, v.Message)
 			fmt.Fprintf(os.Stderr, "counterexample schedule (%d PEs):\n", res.PEs)
 			for _, st := range v.Steps {
 				fmt.Fprintf(os.Stderr, "  PE%d  line %-3d  %s\n", st.PE, st.Line, st.Asm)
@@ -112,7 +168,7 @@ func main() {
 			os.Exit(1)
 		default:
 			fmt.Fprintf(os.Stderr, "verify: %s: clean (%d states at %d PEs, %s)\n",
-				flag.Arg(0), res.States, res.PEs, res.Elapsed.Round(time.Millisecond))
+				srcName, res.States, res.PEs, res.Elapsed.Round(time.Millisecond))
 		}
 	}
 
@@ -121,15 +177,26 @@ func main() {
 		Hashing: *hashing,
 		PEs:     *pes,
 	}
-	m, isaCores, err := machine.Load(cfg, prog, machine.LoadOptions{
+	opts := machine.LoadOptions{
 		LocalWords: *local,
 		Lint:       *lintFlag,
-	})
+	}
+	if fileCfg != nil {
+		// Start from the config object (it carries fields no flag covers:
+		// copies, queue sizing, MM latency, cache, ideal memory), then
+		// re-apply the flag-covered fields so explicit flags win.
+		cfg = fileCfg.MachineConfig()
+		opts = fileCfg.LoadOptions()
+		cfg.Net.K, cfg.Net.Stages, cfg.Net.Combining = *k, *stages, *combining
+		cfg.Hashing, cfg.PEs = *hashing, *pes
+		opts.LocalWords, opts.Lint = *local, *lintFlag
+	}
+	m, isaCores, err := machine.Load(cfg, prog, opts)
 	if err != nil {
 		var le *machine.LintError
 		if errors.As(err, &le) {
 			for _, f := range le.Findings {
-				fmt.Fprintf(os.Stderr, "%s: %s\n", flag.Arg(0), f)
+				fmt.Fprintf(os.Stderr, "%s: %s\n", srcName, f)
 			}
 			os.Exit(1)
 		}
@@ -165,8 +232,8 @@ func main() {
 		profiler = prof.New(prof.Config{
 			PEs:      *pes,
 			Programs: []*isa.Program{prog},
-			File:     filepath.Base(flag.Arg(0)),
-			Source:   string(src),
+			File:     filepath.Base(srcName),
+			Source:   src,
 		})
 		m.SetProfiler(profiler)
 	}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -57,8 +58,26 @@ type ProfileSource interface {
 // profiling is disabled.
 func (s *Server) SetProfile(src ProfileSource) { s.profile = src }
 
-// NewServer returns a server with all endpoints registered.
+// NewServer returns a server with all endpoints registered: the
+// feed-scoped set plus the process-wide /debug/pprof handlers. Use it
+// when the process serves exactly one run (ultrasim/netperf -serve).
 func NewServer() *Server {
+	s := NewFeedServer()
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// NewFeedServer returns a server with only the feed-scoped endpoints
+// registered (/healthz, /metrics, /snapshot.json, /events,
+// /trace/flight, /profile) and no process-wide /debug/pprof. A process
+// serving many simultaneous runs builds one feed server per feed and
+// mounts each under its own path prefix (Mount), the way
+// internal/serve publishes one telemetry surface per session.
+func NewFeedServer() *Server {
 	s := &Server{mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -66,12 +85,19 @@ func NewServer() *Server {
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/trace/flight", s.handleFlight)
 	s.mux.HandleFunc("/profile", s.handleProfile)
-	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// Mount registers this server's endpoints on mux beneath prefix, so
+// several servers — one Feed each — share one listener:
+//
+//	a.Mount(mux, "/sessions/s1")  // /sessions/s1/metrics, …/events, …
+//	b.Mount(mux, "/sessions/s2")
+//
+// The prefix must be non-empty and is taken without a trailing slash.
+func (s *Server) Mount(mux *http.ServeMux, prefix string) {
+	prefix = strings.TrimSuffix(prefix, "/")
+	mux.Handle(prefix+"/", http.StripPrefix(prefix, s.mux))
 }
 
 // Publish makes st the current State. st must not be mutated afterward.

@@ -1,0 +1,108 @@
+package serve
+
+import "sync"
+
+// runnable is what the scheduler drives: one session's slice of work.
+// runSlice advances the session by at most its slice budget and reports
+// whether the session still wants CPU (true → re-enqueue).
+type runnable interface {
+	ID() string
+	runSlice() bool
+}
+
+// Scheduler shares a fixed worker budget across every running session:
+// a FIFO of runnable sessions drained by N workers, each dequeue
+// granting one bounded cycle slice. Round-robin falls out of the FIFO —
+// a session that still wants CPU goes to the back of the line after its
+// slice, so S runnable sessions each get ~1/S of the budget regardless
+// of how long their programs run. A session is queued at most once
+// (queued set), which also guarantees at most one worker ever drives a
+// given machine — the machine itself needs no locking against the
+// scheduler.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	fifo   []runnable
+	queued map[string]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewScheduler starts workers goroutines draining the run queue.
+func NewScheduler(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{queued: make(map[string]bool)}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Enqueue puts r on the run queue unless it is already there. Safe to
+// call from API handlers and from workers re-enqueueing after a slice.
+func (s *Scheduler) Enqueue(r runnable) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.queued[r.ID()] {
+		return
+	}
+	s.queued[r.ID()] = true
+	s.fifo = append(s.fifo, r)
+	s.cond.Signal()
+}
+
+// QueueLen reports how many sessions are currently waiting for a slice.
+func (s *Scheduler) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.fifo)
+}
+
+// Close stops accepting work and waits for the workers to finish their
+// in-flight slices. Queued-but-unstarted sessions are dropped from the
+// queue (their machines simply stop advancing).
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.fifo = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.fifo) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		r := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		// Keep r marked queued while its slice runs: a concurrent
+		// Enqueue must not hand the same session to a second worker.
+		s.mu.Unlock()
+
+		again := r.runSlice()
+
+		s.mu.Lock()
+		delete(s.queued, r.ID())
+		closed := s.closed
+		s.mu.Unlock()
+		if again && !closed {
+			s.Enqueue(r)
+		}
+	}
+}

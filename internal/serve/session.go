@@ -1,0 +1,479 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"ultracomputer/internal/engine"
+	"ultracomputer/internal/machine"
+	"ultracomputer/internal/obs"
+	"ultracomputer/internal/obs/live"
+)
+
+// SessionState is a session's lifecycle state.
+type SessionState string
+
+const (
+	// StateCreated: session exists, no config committed yet.
+	StateCreated SessionState = "created"
+	// StateReady: a running config is committed; the machine starts (or
+	// restarts, after a commit/rollback/reset) from cycle 0 on the next
+	// start or step.
+	StateReady SessionState = "ready"
+	// StateRunning: enqueued on the shared scheduler, advancing in
+	// round-robin cycle slices.
+	StateRunning SessionState = "running"
+	// StatePaused: stopped by the client; resumable or steppable.
+	StatePaused SessionState = "paused"
+	// StateDone: every PE halted, or the cycle quota ran out.
+	StateDone SessionState = "done"
+	// StateFailed: the machine could not be built from the running
+	// config (e.g. guest lint findings); see Info.Error.
+	StateFailed SessionState = "failed"
+	// StateDrained: shut down by service drain or deletion; terminal.
+	StateDrained SessionState = "drained"
+)
+
+// ErrConflict marks an operation invalid in the session's current state
+// (mapped to HTTP 409 by the API layer).
+var ErrConflict = errors.New("serve: operation not valid in current session state")
+
+// sessionRecorderCapacity sizes each session's probe-event ring. Far
+// smaller than the single-run default (1<<20): a service hosts many
+// sessions and /events only ever tails the ring.
+const sessionRecorderCapacity = 1 << 15
+
+// Session is one tenant's simulation: a config store, at most one live
+// machine built from the store's running config, and a per-session
+// telemetry surface (live.Feed + feed server). Machine execution is
+// serialized by execMu — held across a scheduler slice, a synchronous
+// StepCycles, a report read, or a drain — while mu guards the cheap
+// lifecycle fields so Pause and Info never wait behind a slice.
+type Session struct {
+	id     string
+	limits Limits
+	sched  *Scheduler
+	store  *Store
+	lsrv   *live.Server // per-session feed server; stable across rebuilds
+
+	// interrupt asks the in-flight slice to yield between cycles, so
+	// Pause and drain take effect within one machine cycle, not one
+	// slice.
+	interrupt atomic.Bool
+
+	// execMu serializes machine execution and rebuild.
+	execMu sync.Mutex
+	// Machine state, guarded by execMu.
+	machine  *machine.Machine
+	eng      engine.Engine
+	feed     *live.Feed
+	builtSeq int64 // store.CommitSeq the machine was built from
+	prevRep  machine.Report
+	effLimit int64 // session cycle quota: min(config limit, service quota)
+
+	// builtSeqAtomic/effLimitAtomic mirror builtSeq/effLimit for
+	// lock-free Info reads (the canonical values live under execMu).
+	builtSeqAtomic int64
+	effLimitAtomic int64
+
+	mu      sync.Mutex
+	state   SessionState
+	name    string
+	lastErr string
+}
+
+func newSession(id string, limits Limits, sched *Scheduler) *Session {
+	return &Session{
+		id:     id,
+		limits: limits,
+		sched:  sched,
+		store:  NewStore(limits.MaxHistory),
+		lsrv:   live.NewFeedServer(),
+		state:  StateCreated,
+	}
+}
+
+// ID returns the session identifier (scheduler key and URL path id).
+func (s *Session) ID() string { return s.id }
+
+// LiveHandler returns the session's telemetry surface — the same
+// /metrics, /snapshot.json, /events, /healthz set ultrasim -serve
+// exposes, scoped to this session's feed.
+func (s *Session) LiveHandler() http.Handler { return s.lsrv.Handler() }
+
+// Store exposes the session's config store (candidate/running/history).
+func (s *Session) Store() *Store { return s.store }
+
+// SessionInfo is the session's row in the /sessions index.
+type SessionInfo struct {
+	ID    string       `json:"id"`
+	Name  string       `json:"name,omitempty"`
+	State SessionState `json:"state"`
+	// CommitSeq is the newest commit; BuiltSeq the commit the current
+	// machine was built from (0 = no machine; differing values mean the
+	// machine is stale and rebuilds on next start/step).
+	CommitSeq int64 `json:"commit_seq"`
+	BuiltSeq  int64 `json:"built_seq"`
+	// Cycles is the machine's progress as of the last published
+	// telemetry sample; CycleQuota the session's effective cycle budget.
+	Cycles     int64  `json:"cycles"`
+	CycleQuota int64  `json:"cycle_quota,omitempty"`
+	Halted     bool   `json:"halted"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Info snapshots the session for the index. It never blocks behind an
+// in-flight slice: progress counters are read from the last published
+// telemetry State rather than the live machine.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	info := SessionInfo{
+		ID: s.id, Name: s.name, State: s.state,
+		CommitSeq: s.store.CommitSeq(),
+		Error:     s.lastErr,
+	}
+	s.mu.Unlock()
+	if st := s.lsrv.Current(); st != nil {
+		info.Cycles = st.Cycle
+		info.Halted = st.Done
+	}
+	info.BuiltSeq = atomic.LoadInt64(&s.builtSeqAtomic)
+	if info.BuiltSeq > 0 {
+		info.CycleQuota = atomic.LoadInt64(&s.effLimitAtomic)
+	}
+	return info
+}
+
+// SetName records the free-form session label.
+func (s *Session) SetName(name string) {
+	s.mu.Lock()
+	s.name = name
+	s.mu.Unlock()
+}
+
+// StageCandidate validates cfg against both the config rules and the
+// service quotas, then stages it. All field errors come back together.
+func (s *Session) StageCandidate(cfg Config) error {
+	if err := s.checkDrained(); err != nil {
+		return err
+	}
+	var fields []FieldError
+	if err := cfg.Validate(); err != nil {
+		var ve *ValidateError
+		if asValidateError(err, &ve) {
+			fields = append(fields, ve.Fields...)
+		} else {
+			return err
+		}
+	}
+	fields = append(fields, s.limits.checkConfig(cfg)...)
+	if len(fields) > 0 {
+		return &ValidateError{Fields: fields}
+	}
+	return s.store.StageCandidate(cfg)
+}
+
+// CommitCandidate promotes the candidate to running. The machine built
+// from the previous config is now stale: the session drops to Ready and
+// the next start or step rebuilds from cycle 0 under the new config.
+func (s *Session) CommitCandidate(comment string) (CommitEntry, error) {
+	if err := s.checkDrained(); err != nil {
+		return CommitEntry{}, err
+	}
+	e, err := s.store.CommitCandidate(comment)
+	if err != nil {
+		return e, err
+	}
+	s.configChanged()
+	return e, nil
+}
+
+// RollbackRunning restores the previous running config (a fresh commit
+// in the history); like CommitCandidate it resets the session to Ready.
+func (s *Session) RollbackRunning(comment string) (CommitEntry, error) {
+	if err := s.checkDrained(); err != nil {
+		return CommitEntry{}, err
+	}
+	e, err := s.store.RollbackRunning(comment)
+	if err != nil {
+		return e, err
+	}
+	s.configChanged()
+	return e, nil
+}
+
+// configChanged moves the session to Ready after a commit or rollback:
+// any in-flight slice is interrupted, and the stale machine is left for
+// ensureMachineLocked to replace lazily (builtSeq no longer matches).
+func (s *Session) configChanged() {
+	s.interrupt.Store(true)
+	s.mu.Lock()
+	switch s.state {
+	case StateDrained:
+	default:
+		s.state = StateReady
+		s.lastErr = ""
+	}
+	s.mu.Unlock()
+}
+
+// StartRun begins or resumes execution: the session joins the shared
+// scheduler's round-robin and advances one slice at a time. Valid from
+// Ready, Paused or Done-with-newer-commit; 409 otherwise.
+func (s *Session) StartRun() error {
+	s.mu.Lock()
+	switch s.state {
+	case StateReady, StatePaused, StateRunning:
+	default:
+		state := s.state
+		s.mu.Unlock()
+		return fmt.Errorf("%w: cannot start from %q", ErrConflict, state)
+	}
+	if _, ok := s.store.Running(); !ok {
+		s.mu.Unlock()
+		return ErrNoRunning
+	}
+	s.state = StateRunning
+	s.interrupt.Store(false)
+	s.mu.Unlock()
+	s.sched.Enqueue(s)
+	return nil
+}
+
+// Pause asks the in-flight slice (if any) to yield and stops scheduling
+// further slices. Takes effect within one machine cycle.
+func (s *Session) Pause() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case StateRunning, StatePaused:
+		s.state = StatePaused
+		s.interrupt.Store(true)
+		return nil
+	}
+	return fmt.Errorf("%w: cannot pause from %q", ErrConflict, s.state)
+}
+
+// StepCycles synchronously advances the machine by up to n cycles
+// (stopping early at halt or quota) and reports how many cycles ran.
+// Valid when the session is Ready or Paused — stepping a session the
+// scheduler is driving would interleave two drivers.
+func (s *Session) StepCycles(n int64) (ran int64, err error) {
+	if n < 1 {
+		return 0, fmt.Errorf("%w: step of %d cycles", ErrConflict, n)
+	}
+	s.mu.Lock()
+	switch s.state {
+	case StateReady, StatePaused:
+	default:
+		state := s.state
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: cannot step from %q", ErrConflict, state)
+	}
+	s.state = StatePaused
+	s.mu.Unlock()
+
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	if err := s.ensureMachineLocked(); err != nil {
+		return 0, err
+	}
+	m := s.machine
+	for ran < n && !m.Done() && m.Cycles() < s.effLimit {
+		m.Step()
+		ran++
+	}
+	s.finishIfOverLocked()
+	return ran, nil
+}
+
+// ResetMachine discards the machine; the next start or step rebuilds
+// from the running config at cycle 0.
+func (s *Session) ResetMachine() error {
+	if err := s.checkDrained(); err != nil {
+		return err
+	}
+	s.interrupt.Store(true)
+	s.execMu.Lock()
+	s.closeMachineLocked()
+	s.execMu.Unlock()
+	s.mu.Lock()
+	if s.state != StateDrained {
+		if _, ok := s.store.Running(); ok {
+			s.state = StateReady
+		} else {
+			s.state = StateCreated
+		}
+		s.lastErr = ""
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// ReportJSON returns the machine's Table-1 report as indented JSON —
+// the exact bytes a standalone ultrasim run of the same config would
+// report. Waits for any in-flight slice to finish (at most one slice).
+func (s *Session) ReportJSON() ([]byte, error) {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	if s.machine == nil {
+		return nil, fmt.Errorf("%w: no machine built yet", ErrConflict)
+	}
+	return s.machine.Report().JSON()
+}
+
+// drainSession shuts the session down: interrupts any slice, waits for
+// it, finishes the feed (so /events followers terminate) and releases
+// the engine. Terminal.
+func (s *Session) drainSession() {
+	s.interrupt.Store(true)
+	s.mu.Lock()
+	s.state = StateDrained
+	s.mu.Unlock()
+	s.execMu.Lock()
+	if s.feed != nil {
+		s.feed.Finish()
+	}
+	s.closeMachineLocked()
+	s.execMu.Unlock()
+}
+
+func (s *Session) checkDrained() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateDrained {
+		return fmt.Errorf("%w: session is drained", ErrConflict)
+	}
+	return nil
+}
+
+// runSlice advances the machine by one bounded slice on a scheduler
+// worker. Returns true when the session still wants CPU (re-enqueue).
+func (s *Session) runSlice() bool {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	s.mu.Lock()
+	if s.state != StateRunning {
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Unlock()
+	if err := s.ensureMachineLocked(); err != nil {
+		s.mu.Lock()
+		s.state = StateFailed
+		s.lastErr = err.Error()
+		s.mu.Unlock()
+		return false
+	}
+	m := s.machine
+	for i := int64(0); i < s.limits.Slice; i++ {
+		if m.Done() || m.Cycles() >= s.effLimit || s.interrupt.Load() {
+			break
+		}
+		m.Step()
+	}
+	if s.finishIfOverLocked() {
+		return false
+	}
+	s.mu.Lock()
+	again := s.state == StateRunning
+	s.mu.Unlock()
+	return again
+}
+
+// finishIfOverLocked (execMu held) publishes the final telemetry State
+// and moves the session to Done when the machine halted or exhausted
+// its cycle quota.
+func (s *Session) finishIfOverLocked() bool {
+	m := s.machine
+	if m == nil || (!m.Done() && m.Cycles() < s.effLimit) {
+		return false
+	}
+	// One last sample so the published State reflects the final cycle,
+	// then mark the stream done.
+	if s.feed != nil {
+		s.feed.Publish(s.sampleLocked())
+		s.feed.Finish()
+	}
+	s.mu.Lock()
+	if s.state != StateDrained {
+		s.state = StateDone
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// ensureMachineLocked (execMu held) builds — or rebuilds, after a
+// commit/rollback — the machine from the store's running config, wiring
+// the per-session probe ring, sampler, conformance monitor and feed.
+func (s *Session) ensureMachineLocked() error {
+	seq := s.store.CommitSeq()
+	if s.machine != nil && s.builtSeq == seq {
+		return nil
+	}
+	s.closeMachineLocked()
+	cfg, ok := s.store.Running()
+	if !ok {
+		return ErrNoRunning
+	}
+	d := cfg.WithDefaults()
+	m, _, eng, err := d.Build()
+	if err != nil {
+		return err
+	}
+	rec := obs.NewRecorder(sessionRecorderCapacity)
+	m.SetProbe(rec)
+	sampler := obs.NewSampler(d.SampleEvery)
+	m.SetSampler(sampler)
+	s.prevRep = machine.Report{}
+	feed := &live.Feed{
+		Server:   s.lsrv,
+		Monitor:  live.NewMonitor(live.ModelFor(networkConfig(d), d.MMLatency, 0)),
+		Recorder: rec,
+		Report: func() any {
+			cur := m.Report()
+			win := cur.Delta(s.prevRep)
+			s.prevRep = cur
+			return struct {
+				Total  machine.Report `json:"total"`
+				Window machine.Report `json:"window"`
+			}{cur, win}
+		},
+	}
+	feed.Attach(sampler)
+	s.machine, s.eng, s.feed = m, eng, feed
+	s.builtSeq = seq
+	s.effLimit = d.Limit
+	if s.limits.MaxCycles > 0 && s.effLimit > s.limits.MaxCycles {
+		s.effLimit = s.limits.MaxCycles
+	}
+	atomic.StoreInt64(&s.builtSeqAtomic, seq)
+	atomic.StoreInt64(&s.effLimitAtomic, s.effLimit)
+	return nil
+}
+
+func (s *Session) closeMachineLocked() {
+	if s.eng != nil {
+		s.eng.Close()
+	}
+	s.machine, s.eng, s.feed = nil, nil, nil
+	s.builtSeq = 0
+	atomic.StoreInt64(&s.builtSeqAtomic, 0)
+}
+
+// sampleLocked builds an obs.Snapshot of the machine's current
+// counters for the final publish.
+func (s *Session) sampleLocked() obs.Snapshot {
+	m := s.machine
+	sn := obs.Snapshot{Cycle: m.Cycles()}
+	if sam := m.Sampler(); sam != nil {
+		if ss := sam.Snapshots(); len(ss) > 0 {
+			sn = ss[len(ss)-1]
+			sn.Cycle = m.Cycles()
+		}
+	}
+	return sn
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStoreCommitRollback(t *testing.T) {
+	st := NewStore(16)
+
+	if _, err := st.CommitCandidate("nothing staged"); !errors.Is(err, ErrNoCandidate) {
+		t.Fatalf("commit without candidate: %v", err)
+	}
+	if _, err := st.RollbackRunning(""); !errors.Is(err, ErrNoRunning) {
+		t.Fatalf("rollback without running: %v", err)
+	}
+
+	bad := validConfig()
+	bad.K = 1
+	if err := st.StageCandidate(bad); err == nil {
+		t.Fatal("invalid config must not stage")
+	}
+	if _, ok := st.Candidate(); ok {
+		t.Fatal("rejected config left a candidate behind")
+	}
+
+	a := validConfig()
+	a.Name = "a"
+	if err := st.StageCandidate(a); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := st.CommitCandidate("first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Seq != 1 || e1.Rollback {
+		t.Errorf("first commit entry: %+v", e1)
+	}
+	if _, ok := st.Candidate(); ok {
+		t.Error("commit must consume the candidate")
+	}
+	if run, ok := st.Running(); !ok || run.Name != "a" {
+		t.Errorf("running = %v %v, want config a", run.Name, ok)
+	}
+
+	// One commit in history: nothing earlier to restore.
+	if _, err := st.RollbackRunning(""); !errors.Is(err, ErrNoRollback) {
+		t.Fatalf("rollback with single commit: %v", err)
+	}
+
+	b := validConfig()
+	b.Name = "b"
+	if err := st.StageCandidate(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.CommitCandidate("second"); err != nil {
+		t.Fatal(err)
+	}
+	e3, err := st.RollbackRunning("back to a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e3.Rollback || e3.Seq != 3 || e3.Config.Name != "a" {
+		t.Errorf("rollback entry: %+v", e3)
+	}
+	if run, _ := st.Running(); run.Name != "a" {
+		t.Errorf("rollback must restore config a, running %q", run.Name)
+	}
+	h := st.History()
+	if len(h) != 3 || h[0].Config.Name != "a" || h[1].Config.Name != "b" || h[2].Config.Name != "a" {
+		t.Errorf("history must be append-only: %+v", h)
+	}
+}
+
+func TestStoreHistoryBounded(t *testing.T) {
+	st := NewStore(4)
+	for i := 0; i < 10; i++ {
+		cfg := validConfig()
+		if err := st.StageCandidate(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.CommitCandidate(""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := st.History()
+	if len(h) != 4 {
+		t.Fatalf("history len = %d, want cap 4", len(h))
+	}
+	if h[0].Seq != 7 || h[3].Seq != 10 {
+		t.Errorf("window must keep the newest commits: seqs %d..%d", h[0].Seq, h[3].Seq)
+	}
+	if st.CommitSeq() != 10 {
+		t.Errorf("commit seq = %d", st.CommitSeq())
+	}
+}
