@@ -29,6 +29,7 @@ func main() {
 	smoke := flag.Bool("smoke", false, "run the CI smoke check (two concurrent sessions vs a standalone run) and exit")
 	maxSessions := flag.Int("max-sessions", 0, "admission-control session cap (0 = default 8)")
 	maxPEs := flag.Int("max-pes", 0, "per-session PE quota (0 = default 256)")
+	maxPorts := flag.Int("max-ports", 0, "per-session network-port quota, k^stages (0 = default 64Ki)")
 	maxMemory := flag.Int64("max-memory-words", 0, "per-session private-memory quota in words, pes × local_words (0 = default 4Mi)")
 	maxCycles := flag.Int64("max-cycles", 0, "per-session network-cycle quota (0 = default 50M)")
 	workers := flag.Int("workers", 0, "shared scheduler workers draining the session round-robin (0 = default 2)")
@@ -46,6 +47,7 @@ func main() {
 	limits := serve.Limits{
 		MaxSessions:    *maxSessions,
 		MaxPEs:         *maxPEs,
+		MaxPorts:       *maxPorts,
 		MaxMemoryWords: *maxMemory,
 		MaxCycles:      *maxCycles,
 		Workers:        *workers,

@@ -90,12 +90,17 @@ func (c Config) Validate() error {
 	if c.PNIQueueCapacity != 0 && c.PNIQueueCapacity < msgMaxPackets {
 		return fmt.Errorf("network: PNIQueueCapacity = %d, need >= %d (one full message)", c.PNIQueueCapacity, msgMaxPackets)
 	}
+	// Bound K^Stages after every multiply — including the last — so a
+	// huge K with few stages can't slip past and demand multi-GiB port
+	// arrays at build time. n can't overflow: both factors stay <= 2^20
+	// once the first product is checked (the n <= 0 guard covers 32-bit
+	// ints).
 	n := 1
 	for i := 0; i < c.Stages; i++ {
-		if n > 1<<20 {
-			return fmt.Errorf("network: K^Stages too large (K=%d, D=%d)", c.K, c.Stages)
-		}
 		n *= c.K
+		if n > 1<<20 || n <= 0 {
+			return fmt.Errorf("network: K^Stages too large (K=%d, Stages=%d)", c.K, c.Stages)
+		}
 	}
 	return nil
 }

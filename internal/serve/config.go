@@ -140,6 +140,28 @@ func (c Config) Ports() int {
 	return n
 }
 
+// maxValidPorts bounds k^stages for any config that survives Validate:
+// a machine's port count drives several length-Ports allocations at
+// build time, so an unbounded product would let one config OOM the
+// whole service before quotas ever see it.
+const maxValidPorts = 1 << 20
+
+// boundedPorts computes k^stages, reporting failure as soon as the
+// running product exceeds max — including after the final multiply — so
+// the result is exact and the computation can never overflow: both
+// factors are <= max once the first multiply is checked, and max*max
+// fits an int64 for any max up to 2^31.
+func boundedPorts(k, stages, max int) (int, bool) {
+	n := 1
+	for i := 0; i < stages; i++ {
+		n *= k
+		if n > max || n <= 0 {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
 // MemoryWords is the session's private-memory footprint in words
 // (PEs × LocalWords) — the quantity the service's memory quota bounds.
 func (c Config) MemoryWords() int64 {
@@ -187,12 +209,8 @@ var configRules = []struct {
 			return fmt.Sprintf("stages = %d, need >= 1", c.Stages)
 		}
 		if c.K >= 2 {
-			n := 1
-			for i := 0; i < c.Stages; i++ {
-				if n > 1<<20 {
-					return fmt.Sprintf("k^stages too large (k=%d, stages=%d)", c.K, c.Stages)
-				}
-				n *= c.K
+			if _, ok := boundedPorts(c.K, c.Stages, maxValidPorts); !ok {
+				return fmt.Sprintf("k^stages too large (k=%d, stages=%d, max %d ports)", c.K, c.Stages, maxValidPorts)
 			}
 		}
 		return ""

@@ -50,6 +50,11 @@ func TestValidateTable(t *testing.T) {
 		{"bad k", func(c *Config) { c.K = 1 }, []string{"k"}},
 		{"bad stages", func(c *Config) { c.Stages = 0 }, []string{"stages"}},
 		{"too many ports", func(c *Config) { c.Stages = 40 }, []string{"stages"}},
+		// The k^stages bound must hold after the final multiply too: a
+		// huge radix with one stage once slipped through and let the
+		// network build allocate multi-GiB port arrays.
+		{"huge k one stage", func(c *Config) { c.K = 1 << 30; c.Stages = 1; c.PEs = 1 }, []string{"stages"}},
+		{"overflowing k^stages", func(c *Config) { c.K = 1 << 31; c.Stages = 2; c.PEs = 1 }, []string{"stages"}},
 		{"pes beyond ports", func(c *Config) { c.PEs = 17 }, []string{"pes"}},
 		{"tiny queue", func(c *Config) { c.QueueCapacity = 2 }, []string{"queue_capacity"}},
 		{"tiny pni queue", func(c *Config) { c.PNIQueueCapacity = 1 }, []string{"pni_queue_capacity"}},

@@ -8,8 +8,9 @@
 //   - Session manager (session.go, scheduler.go): each session owns at
 //     most one machine instance, driven in bounded round-robin cycle
 //     slices by a fixed pool of scheduler workers. Per-session quotas
-//     (cycles, PEs, memory words) and service-level admission control
-//     (session cap, 503 past it) bound what any tenant can take.
+//     (cycles, PEs, network ports, memory words) and service-level
+//     admission control (session cap, 503 past it) bound what any
+//     tenant can take.
 //     Graceful drain interrupts every slice, publishes each session's
 //     final telemetry State, and stops the workers.
 //

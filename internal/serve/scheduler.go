@@ -4,10 +4,15 @@ import "sync"
 
 // runnable is what the scheduler drives: one session's slice of work.
 // runSlice advances the session by at most its slice budget and reports
-// whether the session still wants CPU (true → re-enqueue).
+// whether the session still wants CPU (true → re-enqueue). wantsCPU
+// re-reads that answer after the slice: while a slice runs the session
+// stays marked queued, so a Pause/StartRun flip in that window has its
+// Enqueue swallowed — the worker consults wantsCPU under the scheduler
+// mutex, after clearing the mark, to catch it.
 type runnable interface {
 	ID() string
 	runSlice() bool
+	wantsCPU() bool
 }
 
 // Scheduler shares a fixed worker budget across every running session:
@@ -99,10 +104,16 @@ func (s *Scheduler) worker() {
 
 		s.mu.Lock()
 		delete(s.queued, r.ID())
-		closed := s.closed
-		s.mu.Unlock()
-		if again && !closed {
-			s.Enqueue(r)
+		// Re-check under the mutex now that the queued mark is gone: a
+		// StartRun whose Enqueue the mark swallowed while the slice ran
+		// would otherwise be lost (the session left StateRunning but
+		// never scheduled again). wantsCPU is the authoritative answer;
+		// `again` alone can be stale by the time we get here.
+		if !s.closed && (again || r.wantsCPU()) {
+			s.queued[r.ID()] = true
+			s.fifo = append(s.fifo, r)
+			s.cond.Signal()
 		}
+		s.mu.Unlock()
 	}
 }

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// swallowedStart reproduces the pause/start race deterministically: the
+// first slice's verdict is "no more CPU" (the client paused mid-slice),
+// but by the time the worker re-checks, a StartRun has flipped the
+// session back to wanting CPU — and its Enqueue was swallowed by the
+// still-standing queued mark. The scheduler must reschedule anyway.
+type swallowedStart struct {
+	mu     sync.Mutex
+	slices int
+	ran    chan struct{}
+}
+
+func (f *swallowedStart) ID() string { return "swallowed" }
+
+func (f *swallowedStart) runSlice() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.slices++
+	if f.slices == 2 {
+		close(f.ran)
+	}
+	return false
+}
+
+func (f *swallowedStart) wantsCPU() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.slices == 1
+}
+
+func TestSchedulerReenqueuesSwallowedStart(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Close()
+	f := &swallowedStart{ran: make(chan struct{})}
+	s.Enqueue(f)
+	select {
+	case <-f.ran:
+	case <-time.After(10 * time.Second):
+		t.Fatal("session whose StartRun raced its slice was never rescheduled (lost wakeup)")
+	}
+}
+
+// TestPauseStartFlipsKeepScheduling is the stress beat of the same
+// race over the real session path: rapid pause/start flips against a
+// never-halting program must never strand the session in StateRunning
+// with no worker driving it.
+func TestPauseStartFlipsKeepScheduling(t *testing.T) {
+	svc := NewService(Limits{Workers: 1, Slice: 64})
+	defer svc.Drain()
+	s, err := svc.CreateSession("flips")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := validConfig()
+	cfg.Program = spinProgram
+	cfg.Limit = 10_000_000 // far beyond what 300 flips can consume: Done is unreachable
+	if err := s.StageCandidate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CommitCandidate(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StartRun(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := s.Pause(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.StartRun(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After the final StartRun the session must still make progress.
+	start := s.Info().Cycles
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if cur := s.Info(); cur.Cycles > start || cur.State == StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session stuck in %s with no progress after pause/start flips", s.Info().State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -14,10 +14,13 @@ type Limits struct {
 	// MaxSessions caps live (non-drained) sessions; creation past the
 	// cap is rejected with a CapacityError (HTTP 503).
 	MaxSessions int `json:"max_sessions"`
-	// MaxPEs and MaxMemoryWords are per-session quotas checked when a
-	// config is staged (field-level errors, so clients see them next to
-	// any validation problems).
+	// MaxPEs, MaxPorts and MaxMemoryWords are per-session quotas checked
+	// when a config is staged (field-level errors, so clients see them
+	// next to any validation problems). MaxPorts bounds k^stages — the
+	// network's port count, which drives the build-time allocation
+	// footprint independently of the populated PE count.
 	MaxPEs         int   `json:"max_pes"`
+	MaxPorts       int   `json:"max_ports"`
 	MaxMemoryWords int64 `json:"max_memory_words"`
 	// MaxCycles clamps each session's cycle budget regardless of the
 	// config's own limit.
@@ -35,6 +38,7 @@ func DefaultLimits() Limits {
 	return Limits{
 		MaxSessions:    8,
 		MaxPEs:         256,
+		MaxPorts:       1 << 16,
 		MaxMemoryWords: 1 << 22,
 		MaxCycles:      50_000_000,
 		Workers:        2,
@@ -51,6 +55,9 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.MaxPEs == 0 {
 		l.MaxPEs = d.MaxPEs
+	}
+	if l.MaxPorts == 0 {
+		l.MaxPorts = d.MaxPorts
 	}
 	if l.MaxMemoryWords == 0 {
 		l.MaxMemoryWords = d.MaxMemoryWords
@@ -78,6 +85,14 @@ func (l Limits) checkConfig(cfg Config) []FieldError {
 	if l.MaxPEs > 0 && d.PEs > l.MaxPEs {
 		fields = append(fields, FieldError{Field: "pes",
 			Msg: fmt.Sprintf("%d PEs exceeds the per-session quota of %d", d.PEs, l.MaxPEs)})
+	}
+	// Ports via boundedPorts, not cfg.Ports(): quotas run next to (not
+	// after) validation, so k/stages may still be wild here.
+	if l.MaxPorts > 0 && d.K >= 2 && d.Stages >= 1 {
+		if _, ok := boundedPorts(d.K, d.Stages, l.MaxPorts); !ok {
+			fields = append(fields, FieldError{Field: "stages",
+				Msg: fmt.Sprintf("k^stages network ports exceed the per-session quota of %d", l.MaxPorts)})
+		}
 	}
 	if l.MaxMemoryWords > 0 && d.MemoryWords() > l.MaxMemoryWords {
 		fields = append(fields, FieldError{Field: "local_words",

@@ -294,6 +294,81 @@ func TestQuotaRejectionFieldErrors(t *testing.T) {
 	call(t, http.MethodGet, base+"/sessions/"+info.ID+"/config/candidate", nil, http.StatusConflict, nil)
 }
 
+func TestPortsQuotaRejection(t *testing.T) {
+	// Ports (k^stages) are quota-bounded independently of PEs: a huge
+	// network with one populated PE costs build-time allocations the
+	// PE quota never sees.
+	_, base := testAPI(t, Limits{MaxPorts: 16})
+	var info SessionInfo
+	call(t, http.MethodPost, base+"/sessions", nil, http.StatusCreated, &info)
+
+	cfg := validConfig() // k=2, stages=4: exactly 16 ports, at quota
+	cfg.Stages = 5       // 32 ports: over
+	cfg.PEs = 1
+	var resp struct {
+		FieldErrors []FieldError `json:"field_errors"`
+	}
+	raw := call(t, http.MethodPut, base+"/sessions/"+info.ID+"/config/candidate", cfg,
+		http.StatusUnprocessableEntity, &resp)
+	found := false
+	for _, f := range resp.FieldErrors {
+		if f.Field == "stages" && strings.Contains(f.Msg, "quota") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want a stages ports-quota error, got %s", raw)
+	}
+
+	cfg.Stages = 4
+	call(t, http.MethodPut, base+"/sessions/"+info.ID+"/config/candidate", cfg, http.StatusOK, nil)
+}
+
+// TestDrainInterruptsSynchronousStep: a big POST /step must yield to a
+// concurrent drain within one machine cycle instead of pinning execMu
+// until the step count is exhausted — and a drained session must refuse
+// further steps rather than rebuild its (already closed) machine.
+func TestDrainInterruptsSynchronousStep(t *testing.T) {
+	svc := NewService(Limits{})
+	s, err := svc.CreateSession("step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := validConfig()
+	cfg.Program = spinProgram
+	cfg.Limit = 50_000_000
+	if err := s.StageCandidate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CommitCandidate(""); err != nil {
+		t.Fatal(err)
+	}
+
+	type stepResult struct {
+		ran int64
+		err error
+	}
+	res := make(chan stepResult, 1)
+	go func() {
+		ran, err := s.StepCycles(40_000_000)
+		res <- stepResult{ran, err}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the step get going
+	svc.Drain()
+
+	select {
+	case r := <-res:
+		if r.err == nil && r.ran == 40_000_000 {
+			t.Error("step ran to completion; drain should have interrupted it")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("step did not return after drain")
+	}
+	if _, err := s.StepCycles(10); err == nil {
+		t.Error("stepping a drained session must fail, not rebuild the machine")
+	}
+}
+
 // TestConcurrentClients hammers one service from parallel clients, each
 // running a full lifecycle, while another client polls the index — the
 // -race beat for the whole API surface.

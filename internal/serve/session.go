@@ -173,7 +173,11 @@ func (s *Session) StageCandidate(cfg Config) error {
 	if len(fields) > 0 {
 		return &ValidateError{Fields: fields}
 	}
-	return s.store.StageCandidate(cfg)
+	// Validated just above — stage directly rather than re-running the
+	// whole rule table (which assembles the guest program) in
+	// Store.StageCandidate.
+	s.store.stageValidated(cfg)
+	return nil
 }
 
 // CommitCandidate promotes the candidate to running. The machine built
@@ -209,8 +213,8 @@ func (s *Session) RollbackRunning(comment string) (CommitEntry, error) {
 // any in-flight slice is interrupted, and the stale machine is left for
 // ensureMachineLocked to replace lazily (builtSeq no longer matches).
 func (s *Session) configChanged() {
-	s.interrupt.Store(true)
 	s.mu.Lock()
+	s.interrupt.Store(true)
 	switch s.state {
 	case StateDrained:
 	default:
@@ -274,15 +278,34 @@ func (s *Session) StepCycles(n int64) (ran int64, err error) {
 		return 0, fmt.Errorf("%w: cannot step from %q", ErrConflict, state)
 	}
 	s.state = StatePaused
+	// Clear any interrupt left over from the Pause that preceded this
+	// step. Done under mu, where drain/commit/pause also set the flag,
+	// so a concurrent interrupt is either visible as a state change
+	// (checked above and again below) or lands after this store and
+	// stops the loop.
+	s.interrupt.Store(false)
 	s.mu.Unlock()
 
 	s.execMu.Lock()
 	defer s.execMu.Unlock()
+	// Re-check now that execution is ours: a drain may have won the
+	// race since the state check above, closing the machine for good —
+	// rebuilding it here would run cycles on a deleted session and leak
+	// its engine.
+	if err := s.checkDrained(); err != nil {
+		return 0, err
+	}
 	if err := s.ensureMachineLocked(); err != nil {
 		return 0, err
 	}
 	m := s.machine
 	for ran < n && !m.Done() && m.Cycles() < s.effLimit {
+		// Honor interrupts mid-step: a large step must not pin execMu
+		// against drain/delete/pause for its whole duration. The caller
+		// learns how many cycles actually ran.
+		if s.interrupt.Load() {
+			break
+		}
 		m.Step()
 		ran++
 	}
@@ -329,8 +352,8 @@ func (s *Session) ReportJSON() ([]byte, error) {
 // it, finishes the feed (so /events followers terminate) and releases
 // the engine. Terminal.
 func (s *Session) drainSession() {
-	s.interrupt.Store(true)
 	s.mu.Lock()
+	s.interrupt.Store(true)
 	s.state = StateDrained
 	s.mu.Unlock()
 	s.execMu.Lock()
@@ -363,8 +386,10 @@ func (s *Session) runSlice() bool {
 	s.mu.Unlock()
 	if err := s.ensureMachineLocked(); err != nil {
 		s.mu.Lock()
-		s.state = StateFailed
-		s.lastErr = err.Error()
+		if s.state != StateDrained {
+			s.state = StateFailed
+			s.lastErr = err.Error()
+		}
 		s.mu.Unlock()
 		return false
 	}
@@ -382,6 +407,16 @@ func (s *Session) runSlice() bool {
 	again := s.state == StateRunning
 	s.mu.Unlock()
 	return again
+}
+
+// wantsCPU reports whether the session should be on the run queue. The
+// scheduler worker calls it (holding the scheduler mutex) after a slice
+// finishes and the queued mark is cleared, catching a StartRun whose
+// Enqueue the mark swallowed while the slice ran.
+func (s *Session) wantsCPU() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == StateRunning
 }
 
 // finishIfOverLocked (execMu held) publishes the final telemetry State
@@ -410,6 +445,12 @@ func (s *Session) finishIfOverLocked() bool {
 // commit/rollback — the machine from the store's running config, wiring
 // the per-session probe ring, sampler, conformance monitor and feed.
 func (s *Session) ensureMachineLocked() error {
+	// Never (re)build for a drained session: drain closed the machine
+	// for good, and a rebuild here would leak the engine (nothing will
+	// close it again).
+	if err := s.checkDrained(); err != nil {
+		return err
+	}
 	seq := s.store.CommitSeq()
 	if s.machine != nil && s.builtSeq == seq {
 		return nil

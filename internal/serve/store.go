@@ -62,10 +62,18 @@ func (s *Store) StageCandidate(cfg Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	s.stageValidated(cfg)
+	return nil
+}
+
+// stageValidated stages cfg without re-running Validate, for callers
+// that already ran the rule table (it assembles the guest program, so
+// running it twice per stage request is real work). The caller is
+// responsible for having validated cfg.
+func (s *Store) stageValidated(cfg Config) {
 	s.mu.Lock()
 	s.candidate = &cfg
 	s.mu.Unlock()
-	return nil
 }
 
 // Candidate returns the staged candidate config, if any.
