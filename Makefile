@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci build vet lint verify test race bench bench-guard equivalence trace-smoke serve-smoke prof clean
+.PHONY: ci build vet lint verify lockcheck-mutants test race bench bench-guard equivalence trace-smoke serve-smoke prof clean
 
-ci: vet lint verify build race test equivalence bench-guard serve-smoke prof
+ci: vet lint verify lockcheck-mutants build race test equivalence bench-guard serve-smoke prof
 
 build:
 	$(GO) build ./...
@@ -10,12 +10,34 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static analysis (cmd/ultravet): the five host analyzers (see
-# `ultravet -list`) over every package plus the guest coherence/race
-# lint over the shipped assembly examples, diffed against the committed
-# .ultravet-baseline.json — the build fails only on NEW findings.
+# Static analysis (cmd/ultravet): the host analyzers (see
+# `ultravet -list`; lockcheck among them enforces the declared mutex
+# discipline module-wide) over every package plus the guest
+# coherence/race lint over the shipped assembly examples, diffed against
+# the committed .ultravet-baseline.json — the build fails only on NEW
+# findings. The annotated tree is expected to be lockcheck-clean, so any
+# new unsuppressed lockcheck finding fails this target.
 lint:
 	$(GO) run ./cmd/ultravet ./... examples/asm/*.s internal/coord/guest/*.s
+
+# Prove the lock-discipline analyzer is live: the three seeded mutants —
+# re-creations of the PR 9 review bugs (lost wakeup, interrupt store
+# outside the lock, rebuild outside execMu) — must each be flagged. An
+# analyzer regression that stops seeing any of them fails CI here even
+# though the main tree stays clean.
+lockcheck-mutants:
+	@out=$$($(GO) run ./cmd/ultravet -enable lockcheck -baseline "" \
+		internal/lint/lockcheck/testdata/src/pr9mutants 2>&1); \
+	st=$$?; \
+	if [ $$st -eq 0 ]; then \
+		echo "lockcheck-mutants: expected findings, got a clean run"; exit 1; \
+	fi; \
+	for f in lostwakeup.go interruptstore.go rebuildrace.go; do \
+		echo "$$out" | grep -q "$$f" || { \
+			echo "lockcheck-mutants: seeded mutant $$f not flagged"; \
+			echo "$$out"; exit 1; }; \
+	done; \
+	echo "lockcheck-mutants: all 3 seeded PR 9 bugs flagged"
 
 # Exhaustive guest verification (internal/lint/guest/mc): model-check
 # every shipped assembly program — the examples and the coord guest

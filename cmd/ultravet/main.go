@@ -4,9 +4,9 @@
 // Go packages (directories, or the literal ./... to expand the module)
 // run the host-side analyzers over the simulator's own sources. The
 // per-package analyzers (detstate, probegate, tracegate) inspect one package at a
-// time; the whole-program analyzers (stagecheck, sharecheck, hotalloc)
-// run once over a module-wide call graph with interprocedural write-set
-// summaries (internal/lint/analysis):
+// time; the whole-program analyzers (stagecheck, sharecheck, hotalloc,
+// lockcheck) run once over a module-wide call graph with interprocedural
+// write-set summaries (internal/lint/analysis):
 //
 //	detstate   forbid wall-clock reads, global math/rand and unordered
 //	           map iteration in functions reachable from the cycle loop
@@ -20,6 +20,11 @@
 //	sharecheck verify that everything transitively reachable from a
 //	           Compute-phase entry point writes only shard-owned state
 //	hotalloc   flag heap-allocation sites reachable from the cycle loop
+//	lockcheck  enforce declared lock discipline (`// guarded by mu` field
+//	           comments): guarded-field access without the protecting
+//	           mutex — with the proving call chain — plus mixed
+//	           plain/atomic access, lock-order cycles, and stale
+//	           condition re-checks after a guarded clear
 //
 // Assembly files (*.s) run through two guest analyzers:
 //
@@ -57,6 +62,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -69,6 +75,7 @@ import (
 	"ultracomputer/internal/lint/detstate"
 	"ultracomputer/internal/lint/findings"
 	"ultracomputer/internal/lint/hotalloc"
+	"ultracomputer/internal/lint/lockcheck"
 	"ultracomputer/internal/lint/probegate"
 	"ultracomputer/internal/lint/sharecheck"
 	"ultracomputer/internal/lint/stagecheck"
@@ -83,6 +90,7 @@ var registry = []*analysis.Analyzer{
 	stagecheck.Analyzer,
 	sharecheck.Analyzer,
 	hotalloc.Analyzer,
+	lockcheck.Analyzer,
 }
 
 // guestRegistry lists the *.s pseudo-analyzers; they share the
@@ -116,12 +124,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, a := range registry {
-			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
-		}
-		for _, g := range guestRegistry {
-			fmt.Printf("%-11s %s\n", g.name, g.doc)
-		}
+		listAnalyzers(os.Stdout)
 		return
 	}
 
@@ -205,6 +208,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ultravet: %d new finding(s) (%d total, %d baselined)\n",
 			len(fresh), len(all), len(all)-len(fresh))
 		os.Exit(1)
+	}
+}
+
+// listAnalyzers prints the -list help text: every registered analyzer,
+// host then guest, with its one-line doc.
+func listAnalyzers(w io.Writer) {
+	for _, a := range registry {
+		fmt.Fprintf(w, "%-11s %s\n", a.Name, a.Doc)
+	}
+	for _, g := range guestRegistry {
+		fmt.Fprintf(w, "%-11s %s\n", g.name, g.doc)
 	}
 }
 

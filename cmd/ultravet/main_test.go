@@ -5,11 +5,13 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ultracomputer/internal/lint/analysis"
 	"ultracomputer/internal/lint/findings"
 	"ultracomputer/internal/lint/guest/mc"
+	"ultracomputer/internal/lint/lockcheck"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files")
@@ -101,6 +103,97 @@ func TestMutantJSONGolden(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("-json output drifted from %s (run with -update if intended):\ngot:\n%s\nwant:\n%s",
 			golden, buf.Bytes(), want)
+	}
+}
+
+// TestLockcheckJSONGolden pins the lockcheck half of `ultravet -json`:
+// the analyzer runs over the seeded PR 9 mutants and the serialized
+// findings — messages, proving chains, stable IDs — must match the
+// committed golden byte for byte, run after run. Paths in findings are
+// working-directory-relative, so the test runs from the module root
+// like CI does.
+func TestLockcheckJSONGolden(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join("..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	dir := filepath.Join("internal", "lint", "lockcheck", "testdata", "src", "pr9mutants")
+	gather := func() []findings.Finding {
+		fs := hostLint([]*analysis.Analyzer{lockcheck.Analyzer}, []string{dir})
+		findings.AssignIDs(fs)
+		return fs
+	}
+
+	fs := gather()
+	if len(fs) == 0 {
+		t.Fatal("pr9mutants fixture produced no findings; the golden test is vacuous")
+	}
+	for _, name := range []string{"lostwakeup.go", "interruptstore.go", "rebuildrace.go"} {
+		flagged := false
+		for _, f := range fs {
+			if strings.HasSuffix(f.File, name) {
+				flagged = true
+				break
+			}
+		}
+		if !flagged {
+			t.Errorf("seeded mutant %s produced no finding", name)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := findings.WriteJSON(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := findings.WriteJSON(&again, gather()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatalf("two runs, different JSON:\n%s\nvs\n%s", buf.Bytes(), again.Bytes())
+	}
+
+	golden := filepath.Join("cmd", "ultravet", "testdata", "lockcheck.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from %s (run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestListAnalyzers checks the -list help text names every registered
+// analyzer, lockcheck and its rules included.
+func TestListAnalyzers(t *testing.T) {
+	var buf bytes.Buffer
+	listAnalyzers(&buf)
+	out := buf.String()
+	for _, a := range registry {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+	for _, g := range guestRegistry {
+		if !strings.Contains(out, g.name) {
+			t.Errorf("-list output missing guest analyzer %s", g.name)
+		}
+	}
+	for _, phrase := range []string{"lockcheck", "lock-order cycles", "mixed plain/atomic"} {
+		if !strings.Contains(out, phrase) {
+			t.Errorf("-list output does not mention %q", phrase)
+		}
 	}
 }
 

@@ -90,7 +90,10 @@ type Parallel struct {
 	// (release); workers observe the new epoch (acquire), run their
 	// fixed shard, and decrement pending. The coordinator spins on
 	// pending reaching zero (acquire), which orders every worker's
-	// writes before the next phase begins.
+	// writes before the next phase begins. No mutex is involved, so the
+	// plain n/fn fields carry no lockcheck guard annotation: their
+	// happens-before edges come from the epoch barrier, a protocol
+	// outside mutex discipline (the runtime race detector covers it).
 	n       int
 	fn      func(lo, hi, worker int)
 	epoch   atomic.Uint64

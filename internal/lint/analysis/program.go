@@ -52,6 +52,13 @@ type Edge struct {
 	// Contains); the write-set fixpoint uses its receiver and argument
 	// expressions to translate callee effects into the caller's frame.
 	Call *ast.CallExpr
+	// Go marks a call that is the operand of a `go` statement: the
+	// callee starts on a fresh goroutine, so it inherits none of the
+	// caller's execution context (held locks in particular).
+	Go bool
+	// Defer marks a call that is the operand of a `defer` statement: it
+	// runs at function exit, in the caller's goroutine.
+	Defer bool
 }
 
 // Node is one function body in the program.
@@ -244,6 +251,20 @@ func (p *Program) methodIndex() map[string][]*types.Func {
 // the literals declared in n.
 func (p *Program) addEdges(n *Node, methods map[string][]*types.Func) {
 	info := n.Pkg.Info
+	// Calls that are the direct operand of a go/defer statement carry
+	// that context on their edges (lock-discipline analyzers need it: a
+	// go'd callee starts with nothing held).
+	goCalls := map[*ast.CallExpr]bool{}
+	deferCalls := map[*ast.CallExpr]bool{}
+	n.InspectOwn(func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.GoStmt:
+			goCalls[x.Call] = true
+		case *ast.DeferStmt:
+			deferCalls[x.Call] = true
+		}
+		return true
+	})
 	n.InspectOwn(func(x ast.Node) bool {
 		switch x := x.(type) {
 		case *ast.FuncLit:
@@ -252,12 +273,13 @@ func (p *Program) addEdges(n *Node, methods map[string][]*types.Func) {
 			}
 			return true
 		case *ast.CallExpr:
+			isGo, isDefer := goCalls[x], deferCalls[x]
 			fun := ast.Unparen(x.Fun)
 			switch fun := fun.(type) {
 			case *ast.Ident:
 				if obj, ok := info.Uses[fun].(*types.Func); ok {
 					if callee := p.ByObj[obj]; callee != nil {
-						n.Calls = append(n.Calls, Edge{Pos: x.Pos(), Kind: EdgeStatic, Callee: callee, Call: x})
+						n.Calls = append(n.Calls, Edge{Pos: x.Pos(), Kind: EdgeStatic, Callee: callee, Call: x, Go: isGo, Defer: isDefer})
 					}
 				}
 			case *ast.SelectorExpr:
@@ -267,16 +289,16 @@ func (p *Program) addEdges(n *Node, methods map[string][]*types.Func) {
 				}
 				if sel, isSel := info.Selections[fun]; isSel {
 					if iface, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
-						p.addDynamicEdges(n, x, fun.Sel.Name, iface, methods)
+						p.addDynamicEdges(n, x, fun.Sel.Name, iface, methods, isGo, isDefer)
 						return true
 					}
 				}
 				if callee := p.ByObj[obj]; callee != nil {
-					n.Calls = append(n.Calls, Edge{Pos: x.Pos(), Kind: EdgeStatic, Callee: callee, Call: x})
+					n.Calls = append(n.Calls, Edge{Pos: x.Pos(), Kind: EdgeStatic, Callee: callee, Call: x, Go: isGo, Defer: isDefer})
 				}
 			case *ast.FuncLit:
 				if callee := p.ByLit[fun]; callee != nil {
-					n.Calls = append(n.Calls, Edge{Pos: x.Pos(), Kind: EdgeStatic, Callee: callee, Call: x})
+					n.Calls = append(n.Calls, Edge{Pos: x.Pos(), Kind: EdgeStatic, Callee: callee, Call: x, Go: isGo, Defer: isDefer})
 				}
 			}
 		}
@@ -286,12 +308,12 @@ func (p *Program) addEdges(n *Node, methods map[string][]*types.Func) {
 
 // addDynamicEdges links an interface method call to every concrete
 // method in the program whose receiver type implements the interface.
-func (p *Program) addDynamicEdges(n *Node, call *ast.CallExpr, name string, iface *types.Interface, methods map[string][]*types.Func) {
+func (p *Program) addDynamicEdges(n *Node, call *ast.CallExpr, name string, iface *types.Interface, methods map[string][]*types.Func, isGo, isDefer bool) {
 	for _, m := range methods[name] {
 		recv := m.Type().(*types.Signature).Recv().Type()
 		if types.Implements(recv, iface) ||
 			types.Implements(types.NewPointer(recv), iface) {
-			n.Calls = append(n.Calls, Edge{Pos: call.Pos(), Kind: EdgeDynamic, Callee: p.ByObj[m], Call: call})
+			n.Calls = append(n.Calls, Edge{Pos: call.Pos(), Kind: EdgeDynamic, Callee: p.ByObj[m], Call: call, Go: isGo, Defer: isDefer})
 		}
 	}
 }

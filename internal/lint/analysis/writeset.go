@@ -263,6 +263,12 @@ func (p *Program) declaredIn(n *Node, obj *types.Var) bool {
 	return obj.Pos() >= n.Lit.Pos() && obj.Pos() <= n.Lit.End()
 }
 
+// RegionOf exposes the alias lattice to analyzers outside this
+// package: the region expression e evaluates into, in n's frame.
+// lockcheck uses it to exempt constructor writes (RegLocal bases) from
+// the mixed plain/atomic rule.
+func (p *Program) RegionOf(n *Node, e ast.Expr) Region { return p.regionOf(n, e) }
+
 // regionOf evaluates the lattice region an expression's value points
 // into.
 func (p *Program) regionOf(n *Node, e ast.Expr) Region {

@@ -1,0 +1,238 @@
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"ultracomputer/internal/lint/analysis"
+)
+
+// This file parses the guard annotations that declare which mutex
+// protects which struct field. Two spellings, both attached to the
+// struct declaration:
+//
+// Per field, as a doc or trailing comment (free prose around the phrase
+// is fine — "Machine state, guarded by execMu." works):
+//
+//	machine *machine.Machine // guarded by execMu
+//	flag    atomic.Bool      // writes guarded by mu
+//
+// Or as a struct-level block in the type's doc comment:
+//
+//	//lockcheck:guards mu: a, b, c
+//	//lockcheck:guards-writes mu: flag
+//
+// "guarded by" requires the mutex for every access; "writes guarded by"
+// only for writes — the contract of an atomic field whose stores must
+// be serialized against a lock-holding reader while loads stay
+// lock-free. The named mutex must be a sibling field of sync.Mutex or
+// sync.RWMutex type; anything else is itself a finding (a silently
+// ignored annotation would be worse than none).
+
+// lockID identifies a mutex instance-insensitively: the *types.Var of
+// a struct's mutex field (every s.mu for the same struct is one lock),
+// or a package-level/local mutex variable.
+type lockID = *types.Var
+
+// guard is one field's protection contract.
+type guard struct {
+	mu        lockID
+	writeOnly bool
+}
+
+// guardTable is everything the annotation scan produced.
+type guardTable struct {
+	// byField maps a guarded struct field to its contract.
+	byField map[*types.Var]guard
+	// lockName renders a lock for diagnostics: "(Struct).mu" for fields
+	// (every mutex-typed field in the program is named here, annotated
+	// or not), bare names for other variables.
+	lockName map[lockID]string
+	// fieldName renders any scanned struct field as "(Struct).name" for
+	// diagnostics.
+	fieldName map[*types.Var]string
+	// bad accumulates malformed annotations as diagnostics.
+	bad []analysis.Diagnostic
+}
+
+var (
+	writesGuardedRe = regexp.MustCompile(`\bwrites guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+	guardedRe       = regexp.MustCompile(`\bguarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+	blockRe         = regexp.MustCompile(`^lockcheck:guards(-writes)?\s+([A-Za-z_][A-Za-z0-9_]*)\s*:\s*(.+)$`)
+)
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (or a
+// pointer to one).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// scanGuards walks every struct declaration in the program and builds
+// the guard table.
+func scanGuards(prog *analysis.Program) *guardTable {
+	gt := &guardTable{
+		byField:   map[*types.Var]guard{},
+		lockName:  map[lockID]string{},
+		fieldName: map[*types.Var]string{},
+	}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(gd.Specs) == 1 {
+						doc = gd.Doc
+					}
+					gt.scanStruct(pkg, ts.Name.Name, st, doc)
+				}
+			}
+		}
+	}
+	return gt
+}
+
+// scanStruct processes one struct: index its mutex fields, then apply
+// per-field comments and struct-doc directive blocks.
+func (gt *guardTable) scanStruct(pkg *analysis.Package, structName string, st *ast.StructType, doc *ast.CommentGroup) {
+	// Field objects by name, and every mutex field's display name.
+	fields := map[string]*types.Var{}
+	for _, fl := range st.Fields.List {
+		for _, name := range fl.Names {
+			obj, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			fields[name.Name] = obj
+			gt.fieldName[obj] = "(" + structName + ")." + obj.Name()
+			if isMutexType(obj.Type()) {
+				gt.lockName[obj] = "(" + structName + ")." + obj.Name()
+			}
+		}
+	}
+	resolveMu := func(name string, pos token.Pos) (lockID, bool) {
+		mu, ok := fields[name]
+		if !ok {
+			gt.bad = append(gt.bad, analysis.Diagnostic{Pos: pos,
+				Message: "guard annotation names " + name + ", which is not a field of " + structName})
+			return nil, false
+		}
+		if !isMutexType(mu.Type()) {
+			gt.bad = append(gt.bad, analysis.Diagnostic{Pos: pos,
+				Message: "guard annotation names " + structName + "." + name + ", which is not a sync.Mutex or sync.RWMutex"})
+			return nil, false
+		}
+		return mu, true
+	}
+
+	// Struct-level //lockcheck:guards blocks.
+	if doc != nil {
+		for _, c := range doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			m := blockRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			mu, ok := resolveMu(m[2], c.Pos())
+			if !ok {
+				continue
+			}
+			for _, fn := range strings.Split(m[3], ",") {
+				fn = strings.TrimSpace(fn)
+				fobj, ok := fields[fn]
+				if !ok {
+					gt.bad = append(gt.bad, analysis.Diagnostic{Pos: c.Pos(),
+						Message: "guard block lists " + fn + ", which is not a field of " + structName})
+					continue
+				}
+				gt.byField[fobj] = guard{mu: mu, writeOnly: m[1] != ""}
+			}
+		}
+	}
+
+	// Per-field "guarded by <mu>" / "writes guarded by <mu>" comments.
+	for _, fl := range st.Fields.List {
+		g, pos, ok := parseFieldComment(fl)
+		if !ok {
+			continue
+		}
+		mu, resolved := resolveMu(g.muName, pos)
+		if !resolved {
+			continue
+		}
+		for _, name := range fl.Names {
+			if fobj, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				gt.byField[fobj] = guard{mu: mu, writeOnly: g.writeOnly}
+			}
+		}
+	}
+}
+
+type fieldAnnotation struct {
+	muName    string
+	writeOnly bool
+}
+
+// parseFieldComment extracts a guard phrase from a field's doc or
+// trailing comment.
+func parseFieldComment(fl *ast.Field) (fieldAnnotation, token.Pos, bool) {
+	for _, cg := range []*ast.CommentGroup{fl.Doc, fl.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if m := writesGuardedRe.FindStringSubmatch(text); m != nil {
+				return fieldAnnotation{muName: m[1], writeOnly: true}, c.Pos(), true
+			}
+			if m := guardedRe.FindStringSubmatch(text); m != nil {
+				return fieldAnnotation{muName: m[1]}, c.Pos(), true
+			}
+		}
+	}
+	return fieldAnnotation{}, token.NoPos, false
+}
+
+// name renders a lock for diagnostics.
+func (gt *guardTable) name(l lockID) string {
+	if l == nil {
+		return "?"
+	}
+	if n, ok := gt.lockName[l]; ok {
+		return n
+	}
+	return l.Name()
+}
+
+// fieldDisplay renders a struct field for diagnostics.
+func (gt *guardTable) fieldDisplay(f *types.Var) string {
+	if n, ok := gt.fieldName[f]; ok {
+		return n
+	}
+	return f.Name()
+}

@@ -1,0 +1,240 @@
+package lockcheck
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter exercises the basic guarded-access rule.
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) Good() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) GoodDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) Bad() {
+	c.n++ // want `write to \(counter\)\.n without holding \(counter\)\.mu`
+}
+
+func (c *counter) BadRead() int {
+	return c.n // want `read of \(counter\)\.n without holding \(counter\)\.mu`
+}
+
+// bumpLocked carries no annotation: every caller holds mu, and the
+// entry fixpoint proves it.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func (c *counter) Bump() {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+func (c *counter) BumpTwice() {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+// bumpMaybe has one locked and one unlocked caller, so the meet over
+// call sites is empty and the access is flagged.
+func (c *counter) bumpMaybe() {
+	c.n++ // want `write to \(counter\)\.n without holding \(counter\)\.mu`
+}
+
+func (c *counter) CallsLocked() {
+	c.mu.Lock()
+	c.bumpMaybe()
+	c.mu.Unlock()
+}
+
+func (c *counter) CallsUnlocked() {
+	c.bumpMaybe()
+}
+
+// A closure invoked in place inherits the caller's held set.
+func (c *counter) InlineClosure() {
+	c.mu.Lock()
+	func() {
+		c.n++
+	}()
+	c.mu.Unlock()
+}
+
+// A go'd closure starts a fresh goroutine: nothing is held.
+func (c *counter) SpawnBad() {
+	c.mu.Lock()
+	go func() {
+		c.n++ // want `write to \(counter\)\.n without holding \(counter\)\.mu`
+	}()
+	c.mu.Unlock()
+}
+
+func (c *counter) DoubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want `\(counter\)\.mu acquired while already held \(self-deadlock\)`
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func (c *counter) Suppressed() int {
+	//ultravet:ok lockcheck metrics reader tolerates a stale value
+	return c.n
+}
+
+// newCounter writes fields of an object that is not shared yet:
+// constructor stores are exempt.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// table exercises RWMutex modes: RLock admits reads, not writes.
+type table struct {
+	rw   sync.RWMutex
+	rows map[string]int // guarded by rw
+}
+
+func (t *table) Lookup(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k]
+}
+
+func (t *table) Store(k string) {
+	t.rw.Lock()
+	t.rows[k] = 1
+	t.rw.Unlock()
+}
+
+func (t *table) BadStore(k string) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.rows[k] = 1 // want `write to \(table\)\.rows without holding \(table\)\.rw \(held only in read mode; writes need the exclusive lock\)`
+}
+
+// gate exercises the writes-only contract of an atomic field whose
+// stores are serialized by a lock while loads stay lock-free.
+type gate struct {
+	mu   sync.Mutex
+	open atomic.Bool // writes guarded by mu
+}
+
+func (g *gate) Set() {
+	g.mu.Lock()
+	g.open.Store(true)
+	g.mu.Unlock()
+}
+
+func (g *gate) BadSet() {
+	g.open.Store(true) // want `atomic store to \(gate\)\.open without holding \(gate\)\.mu`
+}
+
+func (g *gate) Peek() bool {
+	return g.open.Load()
+}
+
+// mixed exercises the torn plain/atomic rule (no guard annotation
+// needed: mixing the two access styles is wrong regardless).
+type mixed struct {
+	n int64
+}
+
+func (m *mixed) Inc() {
+	atomic.AddInt64(&m.n, 1)
+}
+
+func (m *mixed) Read() int64 {
+	return m.n // want `mixed atomic/plain access to \(mixed\)\.n`
+}
+
+// newMixed writes the field before the object is shared: exempt.
+func newMixed() *mixed {
+	m := &mixed{}
+	m.n = 1
+	return m
+}
+
+// ab exercises lock-order cycle detection: AB and BA nest the two
+// mutexes in opposite orders.
+type ab struct {
+	a sync.Mutex
+	b sync.Mutex
+	x int // guarded by a
+	y int // guarded by b
+}
+
+func (p *ab) AB() {
+	p.a.Lock()
+	p.b.Lock() // want `lock-order cycle between \(ab\)\.a and \(ab\)\.b`
+	p.x, p.y = 1, 2
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *ab) BA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.y = 3
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// queue exercises the stale re-check rule (the lost-wakeup shape).
+type queue struct {
+	mu     sync.Mutex
+	marked map[int]bool // guarded by mu
+	closed bool         // guarded by mu
+}
+
+func (q *queue) poll(id int) bool { return id > 0 }
+
+// BadWorker decides on a flag computed before mu was taken, after the
+// mark was cleared under mu: wakeups that raced in between are lost.
+func (q *queue) BadWorker(id int) {
+	again := q.poll(id)
+	q.mu.Lock()
+	delete(q.marked, id)
+	if again { // want `condition decides on "again", computed before \(queue\)\.mu was acquired`
+		q.marked[id] = true
+	}
+	q.mu.Unlock()
+}
+
+// GoodWorker re-consults shared state inside the critical section.
+func (q *queue) GoodWorker(id int) {
+	again := q.poll(id)
+	q.mu.Lock()
+	delete(q.marked, id)
+	if again || q.poll(id) {
+		q.marked[id] = true
+	}
+	q.mu.Unlock()
+}
+
+// GoodWorker2 computes the flag under the same lock: nothing stale.
+func (q *queue) GoodWorker2(id int) {
+	q.mu.Lock()
+	again := q.marked[id]
+	delete(q.marked, id)
+	if again {
+		q.marked[id] = true
+	}
+	q.mu.Unlock()
+}

@@ -1,0 +1,34 @@
+package lockcheck
+
+import "sync"
+
+// blocky declares its guards with a struct-level directive block.
+//
+//lockcheck:guards mu: a, b
+type blocky struct {
+	mu   sync.Mutex
+	a, b int
+}
+
+func (s *blocky) Swap() {
+	s.mu.Lock()
+	s.a, s.b = s.b, s.a
+	s.mu.Unlock()
+}
+
+func (s *blocky) Sum() int {
+	return s.a + s.b // want `read of \(blocky\)\.a without holding \(blocky\)\.mu` `read of \(blocky\)\.b without holding \(blocky\)\.mu`
+}
+
+// Malformed annotations are findings themselves: silently ignoring
+// them would be worse than having none.
+type badAnno struct {
+	n int // guarded by missing // want `guard annotation names missing, which is not a field of badAnno`
+}
+
+type badAnno2 struct {
+	lk int
+	v  int // guarded by lk // want `guard annotation names badAnno2\.lk, which is not a sync\.Mutex or sync\.RWMutex`
+}
+
+func useBad(a *badAnno, b *badAnno2) int { return a.n + b.v + b.lk }

@@ -1,0 +1,29 @@
+package pr9mutants
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// task reproduces the interrupt-store bug: the flag's stores are
+// serialized by mu (the run loop clears it under the lock before
+// deciding how far to step), but Cancel sets it without the lock, so
+// a cancel racing the clear can be wiped out.
+type task struct {
+	mu        sync.Mutex
+	interrupt atomic.Bool // writes guarded by mu
+	step      int         // guarded by mu
+}
+
+func (t *task) Cancel() {
+	t.interrupt.Store(true) // want `atomic store to \(task\)\.interrupt without holding \(task\)\.mu`
+}
+
+func (t *task) run() {
+	t.mu.Lock()
+	if t.interrupt.Load() {
+		t.interrupt.Store(false)
+		t.step = 0
+	}
+	t.mu.Unlock()
+}

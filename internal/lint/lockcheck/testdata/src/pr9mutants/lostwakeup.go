@@ -1,0 +1,34 @@
+// Package pr9mutants seeds the three concurrency bugs found in the PR 9
+// review of the simulation service, each reduced to the shape that
+// reached review. lockcheck must flag all three; `make lockcheck-mutants`
+// enforces it.
+package pr9mutants
+
+import "sync"
+
+// request mirrors the scheduler's runnable unit.
+type request struct{ id int }
+
+// Step runs one slice and reports whether the request wants more CPU.
+func (r *request) Step() bool { return r.id > 0 }
+
+// sched reproduces the lost-wakeup bug: worker clears the queued mark
+// under mu, then decides whether to re-enqueue on a flag computed
+// BEFORE the lock was taken. A Start that raced in between observed
+// the mark, declined to enqueue, and its wakeup is lost forever.
+type sched struct {
+	mu     sync.Mutex
+	fifo   []*request   // guarded by mu
+	queued map[int]bool // guarded by mu
+}
+
+func (s *sched) worker(r *request) {
+	again := r.Step()
+	s.mu.Lock()
+	delete(s.queued, r.id)
+	if again { // want `condition decides on "again", computed before \(sched\)\.mu was acquired`
+		s.fifo = append(s.fifo, r)
+		s.queued[r.id] = true
+	}
+	s.mu.Unlock()
+}

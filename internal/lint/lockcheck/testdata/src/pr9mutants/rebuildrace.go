@@ -1,0 +1,31 @@
+package pr9mutants
+
+import "sync"
+
+type machine struct{ words int }
+
+// session reproduces the unguarded-rebuild bug: a config change
+// rebuilds the machine without execMu, racing the exec path that is
+// stepping it. The proving chain (Configure → rebuild) shows the
+// unlocked route in.
+type session struct {
+	execMu  sync.Mutex
+	machine *machine // guarded by execMu
+	limit   int      // guarded by execMu
+}
+
+func (s *session) Configure(n int) {
+	s.rebuild(n)
+}
+
+func (s *session) rebuild(n int) {
+	s.machine = &machine{words: n} // want `write to \(session\)\.machine without holding \(session\)\.execMu`
+	s.limit = n                    // want `write to \(session\)\.limit without holding \(session\)\.execMu`
+}
+
+func (s *session) StepOnce() int {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	s.machine.words++
+	return s.limit
+}

@@ -140,6 +140,9 @@ type Profiler struct {
 	nets    []*NetShard
 	paths   []CriticalPath
 
+	// live is the pre-rendered /prof export, swapped in whole; like
+	// live.Server.cur it is atomic-only state with no guarding mutex,
+	// so lockcheck's mixed plain/atomic rule is the relevant watchdog.
 	liveOn bool
 	live   atomic.Pointer[[]byte]
 }

@@ -15,10 +15,10 @@ import "sync"
 // is the only writer).
 type Recorder struct {
 	mu          sync.Mutex
-	buf         []Event
-	start, n    int
-	total       int64
-	overwritten int64
+	buf         []Event // guarded by mu
+	start, n    int     // guarded by mu
+	total       int64   // guarded by mu
+	overwritten int64   // guarded by mu
 }
 
 // DefaultRecorderCapacity holds roughly the last million events — a few

@@ -78,6 +78,8 @@ func (c Config) withDefaults() Config {
 // All events of one run arrive on the coordinator goroutine (serial
 // emission, or deterministic buffer drains under a parallel engine);
 // the mutex exists for concurrent HTTP exports, not for emission.
+//
+//lockcheck:guards mu: active, ring, head, n, slow, slowSeen, rng, completed, combineLinks, dropped, latN, latMean
 type Tracer struct {
 	cfg  Config
 	all  bool   // Rate >= 1: trace everything

@@ -31,7 +31,7 @@ type Memory struct {
 
 type shard struct {
 	mu    sync.Mutex
-	words map[int64]int64
+	words map[int64]int64 // guarded by mu
 }
 
 // NewMemory returns an empty memory; every cell reads as zero.

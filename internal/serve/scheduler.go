@@ -27,9 +27,9 @@ type runnable interface {
 type Scheduler struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	fifo   []runnable
-	queued map[string]bool
-	closed bool
+	fifo   []runnable      // guarded by mu
+	queued map[string]bool // guarded by mu
+	closed bool            // guarded by mu
 	wg     sync.WaitGroup
 }
 

@@ -1,6 +1,10 @@
 package serve
 
 import (
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -70,12 +74,32 @@ func TestPauseStartFlipsKeepScheduling(t *testing.T) {
 	if err := s.StartRun(); err != nil {
 		t.Fatal(err)
 	}
+	// Jitter between flips varies how they interleave with the worker's
+	// slices from run to run, while keeping any failure reproducible:
+	// the seed is always logged, and ULTRASERVE_SCHED_SEED pins it to
+	// replay a flake exactly.
+	seed := time.Now().UnixNano()
+	if env := os.Getenv("ULTRASERVE_SCHED_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad ULTRASERVE_SCHED_SEED %q: %v", env, err)
+		}
+		seed = v
+	}
+	t.Logf("flip jitter seed %d (replay with ULTRASERVE_SCHED_SEED=%d)", seed, seed)
+	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < 300; i++ {
 		if err := s.Pause(); err != nil {
 			t.Fatal(err)
 		}
 		if err := s.StartRun(); err != nil {
 			t.Fatal(err)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			runtime.Gosched()
+		case 1:
+			time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
 		}
 	}
 	// After the final StartRun the session must still make progress.

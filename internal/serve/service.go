@@ -126,9 +126,9 @@ type Service struct {
 	sched  *Scheduler
 
 	mu       sync.Mutex
-	sessions map[string]*Session
-	nextID   int64
-	draining bool
+	sessions map[string]*Session // guarded by mu
+	nextID   int64               // guarded by mu
+	draining bool                // guarded by mu
 }
 
 // NewService starts a service with the given capacity policy (zero

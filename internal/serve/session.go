@@ -61,28 +61,37 @@ type Session struct {
 
 	// interrupt asks the in-flight slice to yield between cycles, so
 	// Pause and drain take effect within one machine cycle, not one
-	// slice.
+	// slice. Reads are lock-free; writes guarded by mu, so StepCycles'
+	// clear cannot wipe out a concurrent setter's store.
 	interrupt atomic.Bool
 
 	// execMu serializes machine execution and rebuild.
 	execMu sync.Mutex
-	// Machine state, guarded by execMu.
-	machine  *machine.Machine
-	eng      engine.Engine
-	feed     *live.Feed
-	builtSeq int64 // store.CommitSeq the machine was built from
-	prevRep  machine.Report
-	effLimit int64 // session cycle quota: min(config limit, service quota)
+	// Machine state.
+	machine  *machine.Machine // guarded by execMu
+	eng      engine.Engine    // guarded by execMu
+	feed     *live.Feed       // guarded by execMu
+	builtSeq int64            // guarded by execMu; store.CommitSeq the machine was built from
+	prevRep  machine.Report   // guarded by execMu
+	effLimit int64            // guarded by execMu; session cycle quota: min(config limit, service quota)
 
-	// builtSeqAtomic/effLimitAtomic mirror builtSeq/effLimit for
-	// lock-free Info reads (the canonical values live under execMu).
-	builtSeqAtomic int64
-	effLimitAtomic int64
+	// info mirrors builtSeq/effLimit for lock-free Info reads as one
+	// atomically-swapped pair, so a reader can never observe a fresh
+	// BuiltSeq with a stale CycleQuota (two separate int64 mirrors
+	// allowed exactly that tear between their stores). The canonical
+	// values live under execMu; writes guarded by execMu.
+	info atomic.Pointer[infoMirror]
 
 	mu      sync.Mutex
-	state   SessionState
-	name    string
-	lastErr string
+	state   SessionState // guarded by mu
+	name    string       // guarded by mu
+	lastErr string       // guarded by mu
+}
+
+// infoMirror is the pair Info reads without taking execMu.
+type infoMirror struct {
+	builtSeq int64
+	effLimit int64
 }
 
 func newSession(id string, limits Limits, sched *Scheduler) *Session {
@@ -140,9 +149,11 @@ func (s *Session) Info() SessionInfo {
 		info.Cycles = st.Cycle
 		info.Halted = st.Done
 	}
-	info.BuiltSeq = atomic.LoadInt64(&s.builtSeqAtomic)
-	if info.BuiltSeq > 0 {
-		info.CycleQuota = atomic.LoadInt64(&s.effLimitAtomic)
+	if m := s.info.Load(); m != nil {
+		info.BuiltSeq = m.builtSeq
+		if m.builtSeq > 0 {
+			info.CycleQuota = m.effLimit
+		}
 	}
 	return info
 }
@@ -319,7 +330,12 @@ func (s *Session) ResetMachine() error {
 	if err := s.checkDrained(); err != nil {
 		return err
 	}
+	// Set the interrupt under mu like every other setter: an unlocked
+	// store here could be wiped out by StepCycles' clear racing in
+	// between, leaving the discarded machine running a full step.
+	s.mu.Lock()
 	s.interrupt.Store(true)
+	s.mu.Unlock()
 	s.execMu.Lock()
 	s.closeMachineLocked()
 	s.execMu.Unlock()
@@ -476,7 +492,12 @@ func (s *Session) ensureMachineLocked() error {
 		Recorder: rec,
 		Report: func() any {
 			cur := m.Report()
+			// The feed only calls Report from Publish on the exec path,
+			// where every caller holds execMu; the analyzer cannot see
+			// through the stored closure.
+			//ultravet:ok lockcheck Report runs under execMu via the feed's Publish on the exec path
 			win := cur.Delta(s.prevRep)
+			//ultravet:ok lockcheck Report runs under execMu via the feed's Publish on the exec path
 			s.prevRep = cur
 			return struct {
 				Total  machine.Report `json:"total"`
@@ -491,8 +512,7 @@ func (s *Session) ensureMachineLocked() error {
 	if s.limits.MaxCycles > 0 && s.effLimit > s.limits.MaxCycles {
 		s.effLimit = s.limits.MaxCycles
 	}
-	atomic.StoreInt64(&s.builtSeqAtomic, seq)
-	atomic.StoreInt64(&s.effLimitAtomic, s.effLimit)
+	s.info.Store(&infoMirror{builtSeq: seq, effLimit: s.effLimit})
 	return nil
 }
 
@@ -502,7 +522,7 @@ func (s *Session) closeMachineLocked() {
 	}
 	s.machine, s.eng, s.feed = nil, nil, nil
 	s.builtSeq = 0
-	atomic.StoreInt64(&s.builtSeqAtomic, 0)
+	s.info.Store(&infoMirror{})
 }
 
 // sampleLocked builds an obs.Snapshot of the machine's current

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestInfoMirrorConsistency hammers the lock-free Info path while
+// commits rebuild the machine, asserting every observed
+// (BuiltSeq, CycleQuota) pair is a state the canonical execMu-guarded
+// values actually passed through. Commit seq i always carries quota
+// 1000·i, so any other combination is a torn read — exactly what two
+// separately-stored int64 mirrors allowed between their stores, and
+// what the single atomic.Pointer swap rules out. Run under -race this
+// also exercises the mirror's publication ordering.
+func TestInfoMirrorConsistency(t *testing.T) {
+	const commits = 8
+	svc := NewService(Limits{})
+	defer svc.Drain()
+	s, err := svc.CreateSession("mirror")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	fail := make(chan string, 4)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				in := s.Info()
+				switch {
+				case in.BuiltSeq == 0:
+					if in.CycleQuota != 0 {
+						fail <- fmt.Sprintf("no machine built (BuiltSeq 0) but CycleQuota %d", in.CycleQuota)
+						return
+					}
+				case in.CycleQuota != 1000*in.BuiltSeq:
+					fail <- fmt.Sprintf("torn Info pair: BuiltSeq %d with CycleQuota %d (want %d)",
+						in.BuiltSeq, in.CycleQuota, 1000*in.BuiltSeq)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 1; i <= commits; i++ {
+		cfg := validConfig()
+		cfg.Limit = int64(1000 * i)
+		if err := s.StageCandidate(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.CommitCandidate(""); err != nil {
+			t.Fatal(err)
+		}
+		// Stepping rebuilds the machine from the fresh commit, running
+		// the mirror store the readers race against.
+		if _, err := s.StepCycles(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}

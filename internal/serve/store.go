@@ -38,10 +38,10 @@ type CommitEntry struct {
 // it.
 type Store struct {
 	mu        sync.Mutex
-	candidate *Config
-	running   *Config
-	history   []CommitEntry // newest last, len <= maxHistory
-	seq       int64
+	candidate *Config       // guarded by mu
+	running   *Config       // guarded by mu
+	history   []CommitEntry // guarded by mu; newest last, len <= maxHistory
+	seq       int64         // guarded by mu
 	maxHistory int
 }
 
